@@ -1,0 +1,96 @@
+// Performance/ablation suite (google-benchmark):
+//  - QBD analysis cost vs k — the paper's pitch against [7]'s truncated
+//    MDP approach is that the matrix-analytic solution is cheap and does
+//    not truncate; quantify it.
+//  - Exact truncated-chain solve cost vs truncation level (the [7]-style
+//    baseline this library also ships).
+//  - Job-level and state-level simulator throughput.
+//  - Coxian busy-period fit cost.
+#include <benchmark/benchmark.h>
+
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "phase/fit.hpp"
+#include "queueing/mm1.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/ctmc_sim.hpp"
+
+namespace {
+
+using namespace esched;
+
+void BM_IfAnalysis(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_inelastic_first(p).mean_response_time);
+  }
+}
+BENCHMARK(BM_IfAnalysis)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EfAnalysis(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_elastic_first(p).mean_response_time);
+  }
+}
+BENCHMARK(BM_EfAnalysis)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExactCtmcSolve(benchmark::State& state) {
+  const long trunc = state.range(0);
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  ExactCtmcOptions opt;
+  opt.imax = opt.jmax = trunc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_exact_ctmc(p, InelasticFirst{}, opt).mean_response_time);
+  }
+  state.SetComplexityN(trunc);
+}
+BENCHMARK(BM_ExactCtmcSolve)->Arg(20)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_JobLevelSimulator(benchmark::State& state) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  SimOptions opt;
+  opt.num_jobs = 20000;
+  opt.warmup_jobs = 1000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(
+        simulate(p, InelasticFirst{}, opt).mean_response_time.mean);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(opt.num_jobs));
+}
+BENCHMARK(BM_JobLevelSimulator)->Unit(benchmark::kMillisecond);
+
+void BM_CtmcSimulator(benchmark::State& state) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  CtmcSimOptions opt;
+  opt.horizon = 10000.0;
+  opt.warmup = 500.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(
+        simulate_ctmc(p, InelasticFirst{}, opt).mean_response_time);
+  }
+}
+BENCHMARK(BM_CtmcSimulator)->Unit(benchmark::kMillisecond);
+
+void BM_Coxian2Fit(benchmark::State& state) {
+  const Moments3 m = MM1(0.9, 1.0).busy_period_moments();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_coxian2(m).nu1);
+  }
+}
+BENCHMARK(BM_Coxian2Fit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

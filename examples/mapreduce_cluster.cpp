@@ -1,0 +1,65 @@
+// MapReduce-style cluster (paper §1.3, first motivating example).
+//
+// A shared cluster processes a stream of map stages and reduce stages:
+//  - map stages are ELASTIC: they parallelize across any number of
+//    servers and carry a large amount of work;
+//  - reduce stages are INELASTIC: inherently sequential and much smaller.
+// Elastic jobs larger than inelastic jobs means mu_I > mu_E: exactly the
+// regime where the paper proves Inelastic-First optimal. This example
+// sizes the policies against each other across the load range and shows
+// the cost of picking the wrong one.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "sim/cluster_sim.hpp"
+
+int main() {
+  using namespace esched;
+  // 16-server cluster. Map stages: mean work 8 server-seconds (mu_E =
+  // 0.125). Reduce stages: mean work 0.5 server-seconds (mu_I = 2).
+  constexpr int kServers = 16;
+  constexpr double kMuMap = 0.125;
+  constexpr double kMuReduce = 2.0;
+
+  std::printf("=== MapReduce cluster: elastic map stages (mean work %.1f), "
+              "inelastic reduce stages (mean work %.2f), k = %d ===\n",
+              1.0 / kMuMap, 1.0 / kMuReduce, kServers);
+
+  Table table({"rho", "E[T] IF", "E[T] EF", "EF penalty"});
+  for (double rho : {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+    const SystemParams p =
+        SystemParams::from_load(kServers, kMuReduce, kMuMap, rho);
+    const double et_if = analyze_inelastic_first(p).mean_response_time;
+    const double et_ef = analyze_elastic_first(p).mean_response_time;
+    table.add_row({format_double(rho), format_double(et_if),
+                   format_double(et_ef),
+                   format_double(100.0 * (et_ef / et_if - 1.0), 3) + "%"});
+  }
+  table.print(std::cout);
+  std::printf("\nReduce-first (IF) wins at every load — deferring the "
+              "parallelizable map work keeps all %d servers busy "
+              "(Theorem 5, since mu_I > mu_E).\n\n",
+              kServers);
+
+  // What a deployment would actually observe, per class, at rho = 0.8.
+  const SystemParams p =
+      SystemParams::from_load(kServers, kMuReduce, kMuMap, 0.8);
+  SimOptions opt;
+  opt.num_jobs = 80000;
+  opt.warmup_jobs = 8000;
+  for (const auto& policy : {make_inelastic_first(), make_elastic_first()}) {
+    const SimResult r = simulate(p, *policy, opt);
+    std::printf("%-3s @ rho=0.8: E[T]=%.3f  reduce(T)=%.3f  map(T)=%.3f  "
+                "util=%.2f\n",
+                policy->name().c_str(), r.mean_response_time.mean,
+                r.inelastic.response_time.mean, r.elastic.response_time.mean,
+                r.utilization);
+  }
+  std::printf("\nNote the trade: IF slows map stages slightly but "
+              "collapses reduce-stage latency, winning on the mean.\n");
+  return 0;
+}

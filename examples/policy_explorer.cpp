@@ -1,0 +1,69 @@
+// Policy explorer: compare the whole shipped policy family on one
+// workload, three ways — QBD analysis (IF/EF only), exact truncated chain
+// (any policy), and simulation — and print a consistency report. This is
+// the template for evaluating a custom AllocationPolicy: implement the
+// interface, add it to the list, rebuild.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "sim/cluster_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  // Optional args: k mu_i mu_e rho.
+  const int k = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double mu_i = argc > 2 ? std::atof(argv[2]) : 1.5;
+  const double mu_e = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const double rho = argc > 4 ? std::atof(argv[4]) : 0.8;
+  const SystemParams p = SystemParams::from_load(k, mu_i, mu_e, rho);
+
+  std::printf("=== Policy explorer: k=%d mu_I=%.3g mu_E=%.3g rho=%.2f "
+              "(lambda_I = lambda_E = %.4f) ===\n",
+              k, mu_i, mu_e, rho, p.lambda_i);
+
+  std::vector<PolicyPtr> family = {make_inelastic_first(),
+                                   make_elastic_first(), make_fair_share()};
+  for (int cap = 1; cap < k; ++cap) family.push_back(make_inelastic_cap(cap));
+
+  ExactCtmcOptions opt;
+  opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
+  SimOptions sopt;
+  sopt.num_jobs = 60000;
+  sopt.warmup_jobs = 6000;
+
+  Table table({"policy", "exact E[T]", "sim E[T]", "95% CI", "QBD E[T]"});
+  double best_et = 1e300;
+  std::string best_name;
+  for (const auto& policy : family) {
+    const double exact =
+        solve_exact_ctmc(p, *policy, opt).mean_response_time;
+    const SimResult sim = simulate(p, *policy, sopt);
+    std::string qbd = "-";
+    if (policy->name() == "IF") {
+      qbd = format_double(analyze_inelastic_first(p).mean_response_time);
+    } else if (policy->name() == "EF") {
+      qbd = format_double(analyze_elastic_first(p).mean_response_time);
+    }
+    if (exact < best_et) {
+      best_et = exact;
+      best_name = policy->name();
+    }
+    table.add_row({policy->name(), format_double(exact),
+                   format_double(sim.mean_response_time.mean),
+                   "+-" + format_double(sim.mean_response_time.half_width, 3),
+                   qbd});
+  }
+  table.print(std::cout);
+  std::printf("\nbest policy for this workload: %s (E[T] = %.4f)\n",
+              best_name.c_str(), best_et);
+  std::printf("(mu_I %s mu_E: Theorem 5 %s that IF is optimal)\n",
+              mu_i >= mu_e ? ">=" : "<",
+              mu_i >= mu_e ? "guarantees" : "does not apply, so it is open");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the esched public API in ~40 effective lines.
+//
+// Model a 4-server cluster with elastic and inelastic jobs, analyze both
+// allocation policies exactly, cross-check by simulation, and pick the
+// right policy for the workload.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/ef_analysis.hpp"
+#include "core/if_analysis.hpp"
+#include "core/params.hpp"
+#include "core/policies.hpp"
+#include "sim/cluster_sim.hpp"
+
+int main() {
+  using namespace esched;
+
+  // A cluster: k = 4 servers. Inelastic jobs (single-server) have mean
+  // size 1/mu_I = 0.5; elastic jobs (linearly parallelizable) have mean
+  // size 1/mu_E = 1. Arrivals split evenly, total load rho = 0.7.
+  const SystemParams params = SystemParams::from_load(
+      /*k=*/4, /*mu_i=*/2.0, /*mu_e=*/1.0, /*rho=*/0.7);
+  std::printf("cluster: k=%d, lambda_I=%.3f, lambda_E=%.3f, rho=%.2f\n",
+              params.k, params.lambda_i, params.lambda_e, params.rho());
+
+  // Analyze both policies (busy-period transformation + matrix-analytic).
+  const ResponseTimeAnalysis et_if = analyze_inelastic_first(params);
+  const ResponseTimeAnalysis et_ef = analyze_elastic_first(params);
+  std::printf("analysis:   E[T^IF] = %.4f   E[T^EF] = %.4f\n",
+              et_if.mean_response_time, et_ef.mean_response_time);
+
+  // Inelastic jobs are smaller on average (mu_I >= mu_E), so the paper's
+  // Theorem 5 says Inelastic-First is optimal — the analysis agrees.
+  std::printf("mu_I >= mu_E, so Theorem 5 predicts IF optimal: %s\n",
+              et_if.mean_response_time <= et_ef.mean_response_time
+                  ? "confirmed"
+                  : "VIOLATED?");
+
+  // Cross-check by discrete-event simulation (per-job response times).
+  SimOptions opt;
+  opt.num_jobs = 100000;
+  opt.warmup_jobs = 10000;
+  const SimResult sim = simulate(params, InelasticFirst{}, opt);
+  std::printf("simulation: E[T^IF] = %.4f +- %.4f (95%% CI), "
+              "utilization %.2f\n",
+              sim.mean_response_time.mean, sim.mean_response_time.half_width,
+              sim.utilization);
+  std::printf("per class:  inelastic %.4f, elastic %.4f\n",
+              sim.inelastic.response_time.mean,
+              sim.elastic.response_time.mean);
+  return 0;
+}

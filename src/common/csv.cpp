@@ -1,0 +1,31 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace {
+void write_row(std::ofstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out << ',';
+    out << cells[c];
+  }
+  out << '\n';
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  ESCHED_CHECK(out_.good(), "failed to open CSV file: " + path);
+  ESCHED_CHECK(arity_ > 0, "CSV header must be non-empty");
+  write_row(out_, header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  ESCHED_CHECK(cells.size() == arity_, "CSV row arity must match header");
+  write_row(out_, cells);
+  ++num_rows_;
+}
+
+}  // namespace esched

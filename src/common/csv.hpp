@@ -1,0 +1,31 @@
+// Minimal CSV writer so each experiment harness can persist the series it
+// prints (one CSV per figure, written next to the binary).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace esched {
+
+/// Writes rows of cells to a CSV file. Values are written verbatim (the
+/// harnesses only emit numbers and bare identifiers, so no quoting is
+/// needed).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t num_rows() const { return num_rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace esched

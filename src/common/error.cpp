@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace esched::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& message) {
+  std::ostringstream oss;
+  oss << "esched " << kind << " violation: " << message << " [" << expr
+      << " at " << file << ":" << line << "]";
+  throw Error(oss.str());
+}
+
+}  // namespace esched::detail

@@ -1,0 +1,45 @@
+// Error handling primitives used across the library.
+//
+// The library reports precondition violations and numeric failures by
+// throwing esched::Error (a std::runtime_error). ESCHED_CHECK is used at
+// public API boundaries; ESCHED_ASSERT guards internal invariants and is
+// compiled in all build types (the cost is negligible next to the numeric
+// work these modules do, and silent invariant violations in a solver are
+// far more expensive than a branch).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace esched {
+
+/// Exception type thrown on precondition violations and numeric failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& message);
+}  // namespace detail
+
+/// Checks a user-facing precondition; throws esched::Error on failure.
+#define ESCHED_CHECK(cond, message)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::esched::detail::fail("precondition", #cond, __FILE__, __LINE__, \
+                             (message));                                \
+    }                                                                   \
+  } while (0)
+
+/// Checks an internal invariant; throws esched::Error on failure.
+#define ESCHED_ASSERT(cond, message)                                  \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::esched::detail::fail("invariant", #cond, __FILE__, __LINE__,  \
+                             (message));                              \
+    }                                                                 \
+  } while (0)
+
+}  // namespace esched

@@ -1,0 +1,39 @@
+// Small numeric helpers shared by the analysis and simulation modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace esched {
+
+/// Relative error of `value` against `reference`, falling back to absolute
+/// error when the reference is (near) zero.
+inline double relative_error(double value, double reference) {
+  const double denom = std::abs(reference);
+  if (denom < 1e-12) return std::abs(value - reference);
+  return std::abs(value - reference) / denom;
+}
+
+/// True when `a` and `b` agree to within `rel_tol` relative error (or
+/// `abs_tol` absolute error near zero).
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  return std::abs(a - b) <= std::max(abs_tol, rel_tol * std::max(std::abs(a),
+                                                                 std::abs(b)));
+}
+
+/// Clamps `x` into [lo, hi].
+inline double clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+/// True when `x` is a finite, non-NaN double.
+inline bool is_finite(double x) { return std::isfinite(x); }
+
+/// Squares its argument.
+inline double sq(double x) { return x * x; }
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace esched

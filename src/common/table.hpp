@@ -1,0 +1,37 @@
+// Fixed-width ASCII table printer used by the experiment harnesses to emit
+// the rows/series the paper's figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esched {
+
+/// Accumulates rows of string cells and prints them as an aligned table.
+///
+/// Usage:
+///   Table t({"mu_I", "E[T] IF", "E[T] EF"});
+///   t.add_row({format(mu), format(tif), format(tef)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (default 5).
+std::string format_double(double value, int digits = 5);
+
+}  // namespace esched

@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+#include "core/response_time.hpp"
+
+namespace esched {
+
+Coxian2Params fit_busy_period(const Moments3& moments, BusyFitOrder order) {
+  switch (order) {
+    case BusyFitOrder::kOneMoment:
+      // Exponential with the busy period's mean.
+      return {1.0 / moments.m1, 1.0 / moments.m1, 0.0};
+    case BusyFitOrder::kTwoMoment: {
+      // Match (m1, m2); pick the smallest Coxian-2-feasible third moment.
+      Moments3 m = moments;
+      m.m3 = 1.5 * m.m2 * m.m2 / m.m1 * (1.0 + 1e-9);
+      return fit_coxian2(m);
+    }
+    case BusyFitOrder::kThreeMoment:
+      return fit_coxian2(moments);
+  }
+  ESCHED_CHECK(false, "unknown BusyFitOrder");
+}
+
+}  // namespace esched

@@ -1,0 +1,30 @@
+// Mean response time under Elastic-First (paper §5).
+//
+// Pipeline (§5.1-5.3):
+//  1. Elastic jobs see an exact M/M/1 with rates (lambda_E, k mu_E)
+//     (Observation 1), giving E[N_E] in closed form.
+//  2. The inelastic chain is 2D-infinite (Fig 3a); while elastic jobs are
+//     present inelastic service is suspended. The suspension intervals are
+//     M/M/1 busy periods; replacing them by a Coxian-2 matched to the busy
+//     period's first three moments collapses the chain to a 1D-infinite QBD
+//     (Figs 3b, 3c) with phases {no-elastic, busy-1, busy-2} and level =
+//     number of inelastic jobs.
+//  3. Matrix-analytic solution of the QBD yields E[N_I]; Little's law then
+//     gives E[T^EF] = (E[N_I] + E[N_E]) / (lambda_I + lambda_E).
+// The busy-period transformation is an approximation; the paper (and our
+// tests) put its error under about 1%.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/response_time.hpp"
+
+namespace esched {
+
+/// Analyzes EF at `params`. Requires rho < 1. `fit_order` selects how many
+/// busy-period moments the transformation matches (ablation; the paper
+/// matches three).
+ResponseTimeAnalysis analyze_elastic_first(
+    const SystemParams& params,
+    BusyFitOrder fit_order = BusyFitOrder::kThreeMoment);
+
+}  // namespace esched

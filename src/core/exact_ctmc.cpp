@@ -1,0 +1,90 @@
+#include "core/exact_ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/stationary.hpp"
+
+namespace esched {
+
+long suggested_truncation(double rho, double epsilon) {
+  ESCHED_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0,1)");
+  ESCHED_CHECK(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  if (rho == 0.0) return 16;
+  const double levels = std::log(epsilon) / std::log(rho);
+  return std::clamp(static_cast<long>(std::ceil(levels)), 16L, 400L);
+}
+
+ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
+                                 const AllocationPolicy& policy,
+                                 const ExactCtmcOptions& options) {
+  params.validate();
+  ESCHED_CHECK(params.stable(), "exact solve requires rho < 1");
+  ESCHED_CHECK(options.imax >= 1 && options.jmax >= 1,
+               "truncation levels must be >= 1");
+
+  const long ni = options.imax + 1;
+  const long nj = options.jmax + 1;
+  const auto num_states = static_cast<std::size_t>(ni * nj);
+  const auto index = [nj](long i, long j) {
+    return static_cast<std::size_t>(i * nj + j);
+  };
+
+  SparseCtmc chain(num_states);
+  for (long i = 0; i < ni; ++i) {
+    for (long j = 0; j < nj; ++j) {
+      const State state{i, j};
+      policy.check_feasible(state, params);
+      const Allocation a = policy.allocate(state, params);
+      const std::size_t s = index(i, j);
+      // Arrivals are dropped at the truncation boundary (reflecting wall).
+      if (i + 1 < ni) chain.add_rate(s, index(i + 1, j), params.lambda_i);
+      if (j + 1 < nj) chain.add_rate(s, index(i, j + 1), params.lambda_e);
+      if (i > 0 && a.inelastic > 0.0) {
+        chain.add_rate(s, index(i - 1, j), a.inelastic * params.mu_i);
+      }
+      // Bounded elasticity: only cap * j servers of the class allocation
+      // can actually be used by elastic jobs.
+      const double usable = params.usable_elastic(a.elastic, j);
+      if (j > 0 && usable > 0.0) {
+        chain.add_rate(s, index(i, j - 1), usable * params.mu_e);
+      }
+    }
+  }
+  chain.freeze();
+
+  Vector pi;
+  if (num_states <= options.gth_state_limit) {
+    pi = gth_stationary(chain);
+  } else {
+    StationarySolveInfo info;
+    pi = sor_stationary(chain, options.sor_tol, options.sor_max_iters,
+                        options.sor_omega, &info);
+    ESCHED_CHECK(info.converged,
+                 "SOR did not converge; increase iterations or loosen tol");
+  }
+
+  ExactCtmcResult result;
+  result.num_states = num_states;
+  for (long i = 0; i < ni; ++i) {
+    for (long j = 0; j < nj; ++j) {
+      const double p = pi[index(i, j)];
+      result.mean_jobs_i += static_cast<double>(i) * p;
+      result.mean_jobs_e += static_cast<double>(j) * p;
+      if (i == options.imax || j == options.jmax) result.boundary_mass += p;
+    }
+  }
+  const double total_lambda = params.lambda_i + params.lambda_e;
+  ESCHED_CHECK(total_lambda > 0.0, "exact solve requires some arrivals");
+  result.mean_response_time =
+      (result.mean_jobs_i + result.mean_jobs_e) / total_lambda;
+  result.mean_response_time_i =
+      params.lambda_i > 0.0 ? result.mean_jobs_i / params.lambda_i : 0.0;
+  result.mean_response_time_e =
+      params.lambda_e > 0.0 ? result.mean_jobs_e / params.lambda_e : 0.0;
+  return result;
+}
+
+}  // namespace esched

@@ -1,0 +1,54 @@
+// Exact (truncated) 2-D CTMC solver for arbitrary allocation policies.
+//
+// This is the brute-force baseline the paper contrasts with in §5 (the
+// MDP-style truncation of [7]): build the full generator of the chain
+// (N_I(t), N_E(t)) on {0..imax} x {0..jmax} for ANY stationary policy,
+// solve the stationary distribution, and read off E[N] / E[T]. It serves
+// two purposes: validating the busy-period-transformation analysis, and
+// running optimality sweeps over whole policy families (§4).
+#pragma once
+
+#include <cstddef>
+
+#include "core/params.hpp"
+#include "core/policy.hpp"
+
+namespace esched {
+
+/// Options for the truncated solve.
+struct ExactCtmcOptions {
+  long imax = 120;  ///< inelastic truncation level
+  long jmax = 120;  ///< elastic truncation level
+  /// Use dense GTH elimination when the state count is at most this;
+  /// otherwise sparse SOR. GTH is exact; SOR iterates to `sor_tol`.
+  std::size_t gth_state_limit = 500;
+  double sor_tol = 1e-12;
+  int sor_max_iters = 200000;
+  double sor_omega = 1.0;
+};
+
+/// Results of the truncated stationary solve.
+struct ExactCtmcResult {
+  double mean_jobs_i = 0.0;
+  double mean_jobs_e = 0.0;
+  double mean_response_time = 0.0;
+  double mean_response_time_i = 0.0;
+  double mean_response_time_e = 0.0;
+  /// Stationary mass on the truncation boundary rows i == imax or
+  /// j == jmax; a large value means the truncation is too tight.
+  double boundary_mass = 0.0;
+  std::size_t num_states = 0;
+};
+
+/// Solves the truncated chain for `policy` at `params`. Requires rho < 1
+/// (otherwise the truncated result is meaningless and this throws).
+ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
+                                 const AllocationPolicy& policy,
+                                 const ExactCtmcOptions& options = {});
+
+/// Truncation level at which a geometric tail of ratio rho holds at most
+/// `epsilon` mass — a reasonable default for both dimensions. Clamped to
+/// [16, 400].
+long suggested_truncation(double rho, double epsilon = 1e-10);
+
+}  // namespace esched

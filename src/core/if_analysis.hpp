@@ -1,0 +1,28 @@
+// Mean response time under Inelastic-First (paper Appendix D).
+//
+// Mirror image of the EF analysis:
+//  1. Inelastic jobs see an exact M/M/k with rates (lambda_I, mu_I)
+//     (they have absolute priority and each uses one server).
+//  2. The elastic chain is 2D-infinite (Fig 7a); elastic jobs receive
+//     k - i servers when i < k inelastic jobs are present and none when
+//     i >= k. The excursions of the inelastic count above k-1 are M/M/1
+//     busy periods with rates (lambda_I, k mu_I); replacing them with a
+//     three-moment Coxian-2 collapses the chain to a QBD (Figs 7b, 7c)
+//     with phases {0..k-1} ∪ {busy-1, busy-2} and level = number of
+//     elastic jobs.
+//  3. The QBD yields E[N_E]; Little's law gives E[T^IF].
+#pragma once
+
+#include "core/params.hpp"
+#include "core/response_time.hpp"
+
+namespace esched {
+
+/// Analyzes IF at `params`. Requires rho < 1. `fit_order` selects how many
+/// busy-period moments the transformation matches (ablation; the paper
+/// matches three).
+ResponseTimeAnalysis analyze_inelastic_first(
+    const SystemParams& params,
+    BusyFitOrder fit_order = BusyFitOrder::kThreeMoment);
+
+}  // namespace esched

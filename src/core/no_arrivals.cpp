@@ -1,0 +1,56 @@
+#include "core/no_arrivals.hpp"
+
+#include "common/error.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/ctmc.hpp"
+
+namespace esched {
+
+double mean_response_time_no_arrivals(const SystemParams& params,
+                                      const AllocationPolicy& policy,
+                                      const State& start) {
+  params.validate();
+  ESCHED_CHECK(start.i >= 0 && start.j >= 0, "start state must be valid");
+  const long n0 = start.i + start.j;
+  ESCHED_CHECK(n0 > 0, "need at least one initial job");
+
+  // With no arrivals only states (i, j) <= (i0, j0) are reachable.
+  SystemParams quiet = params;
+  quiet.lambda_i = 0.0;
+  quiet.lambda_e = 0.0;
+
+  const long ni = start.i + 1;
+  const long nj = start.j + 1;
+  const auto index = [nj](long i, long j) {
+    return static_cast<std::size_t>(i * nj + j);
+  };
+  SparseCtmc chain(static_cast<std::size_t>(ni * nj));
+  Vector reward(static_cast<std::size_t>(ni * nj), 0.0);
+  for (long i = 0; i < ni; ++i) {
+    for (long j = 0; j < nj; ++j) {
+      const State state{i, j};
+      policy.check_feasible(state, quiet);
+      const Allocation a = policy.allocate(state, quiet);
+      const std::size_t s = index(i, j);
+      reward[s] = static_cast<double>(i + j);
+      if (i > 0 && a.inelastic > 0.0) {
+        chain.add_rate(s, index(i - 1, j), a.inelastic * quiet.mu_i);
+      }
+      const double usable = quiet.usable_elastic(a.elastic, j);
+      if (j > 0 && usable > 0.0) {
+        chain.add_rate(s, index(i, j - 1), usable * quiet.mu_e);
+      }
+      ESCHED_CHECK(i + j == 0 || a.inelastic + usable > 0.0,
+                   "policy stalls with jobs present (no absorption)");
+    }
+  }
+  chain.freeze();
+
+  Vector initial(static_cast<std::size_t>(ni * nj), 0.0);
+  initial[index(start.i, start.j)] = 1.0;
+  const double total_response =
+      expected_accumulated_reward(chain, initial, reward);
+  return total_response / static_cast<double>(n0);
+}
+
+}  // namespace esched

@@ -1,0 +1,24 @@
+// Transient (no-arrival) analysis for the Theorem 6 counterexample.
+//
+// With no arrivals, the job-count chain under any policy is absorbing at
+// (0, 0), and the mean response time across the initial jobs equals
+//   E[ sum of response times ] / n0 = E[ integral of N(t) dt ] / n0,
+// since every job in the system contributes 1 to N(t) until it finishes.
+// This module computes that quantity exactly via the absorbing-chain
+// solver, reproducing E[T^IF] = (35/12)/mu_I and E[T^EF] = (33/12)/mu_I
+// for the paper's k=2, mu_E = 2 mu_I, start (2 inelastic, 1 elastic) case.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/policy.hpp"
+
+namespace esched {
+
+/// Exact mean response time starting from `start` (i0 inelastic, j0
+/// elastic jobs) with NO further arrivals, under `policy`. The arrival
+/// rates in `params` are ignored (treated as zero).
+double mean_response_time_no_arrivals(const SystemParams& params,
+                                      const AllocationPolicy& policy,
+                                      const State& start);
+
+}  // namespace esched

@@ -1,0 +1,54 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+double SystemParams::elastic_cap_or_k() const {
+  return elastic_cap == 0 ? static_cast<double>(k)
+                          : static_cast<double>(elastic_cap);
+}
+
+double SystemParams::usable_elastic(double servers, long j) const {
+  return std::min(servers, elastic_cap_or_k() * static_cast<double>(j));
+}
+
+double SystemParams::rho_i() const {
+  return lambda_i / (static_cast<double>(k) * mu_i);
+}
+
+double SystemParams::rho_e() const {
+  return lambda_e / (static_cast<double>(k) * mu_e);
+}
+
+double SystemParams::rho() const { return rho_i() + rho_e(); }
+
+void SystemParams::validate() const {
+  ESCHED_CHECK(k >= 1, "need at least one server");
+  ESCHED_CHECK(lambda_i >= 0.0 && lambda_e >= 0.0,
+               "arrival rates must be non-negative");
+  ESCHED_CHECK(mu_i > 0.0 && mu_e > 0.0, "size rates must be positive");
+  ESCHED_CHECK(elastic_cap >= 0 && elastic_cap <= k,
+               "elastic_cap must be in [0, k] (0 = fully elastic)");
+}
+
+SystemParams SystemParams::from_load(int k, double mu_i, double mu_e,
+                                     double rho) {
+  ESCHED_CHECK(k >= 1, "need at least one server");
+  ESCHED_CHECK(mu_i > 0.0 && mu_e > 0.0, "size rates must be positive");
+  ESCHED_CHECK(rho >= 0.0, "load must be non-negative");
+  SystemParams p;
+  p.k = k;
+  p.mu_i = mu_i;
+  p.mu_e = mu_e;
+  const double lambda =
+      rho * static_cast<double>(k) * mu_i * mu_e / (mu_i + mu_e);
+  p.lambda_i = lambda;
+  p.lambda_e = lambda;
+  p.validate();
+  return p;
+}
+
+}  // namespace esched

@@ -1,0 +1,47 @@
+// System parameters of the paper's model (§2).
+#pragma once
+
+namespace esched {
+
+/// Parameters of the two-class elastic/inelastic system: k servers of unit
+/// speed, Poisson(lambda_E)/Exp(mu_E) elastic traffic and
+/// Poisson(lambda_I)/Exp(mu_I) inelastic traffic.
+struct SystemParams {
+  int k = 1;             ///< number of servers
+  double lambda_i = 0.0; ///< inelastic arrival rate
+  double lambda_e = 0.0; ///< elastic arrival rate
+  double mu_i = 1.0;     ///< inelastic size rate (mean size 1/mu_i)
+  double mu_e = 1.0;     ///< elastic size rate (mean size 1/mu_e)
+
+  /// Bounded elasticity (paper §6 future work): a single elastic job can
+  /// use at most this many servers. 0 means "fully elastic" (cap = k, the
+  /// paper's base model). The exact-chain solver and the simulators honor
+  /// the cap; the §5 QBD analyses require the base model.
+  int elastic_cap = 0;
+
+  /// Effective per-elastic-job parallelism bound.
+  double elastic_cap_or_k() const;
+
+  /// Total elastic service capacity usable in a state with j elastic jobs
+  /// given a class allocation of `servers`: min(servers, cap * j).
+  double usable_elastic(double servers, long j) const;
+
+  /// Inelastic share of load: lambda_I / (k mu_I).
+  double rho_i() const;
+  /// Elastic share of load: lambda_E / (k mu_E).
+  double rho_e() const;
+  /// Total system load, paper eq. (1); stability requires rho() < 1.
+  double rho() const;
+  bool stable() const { return rho() < 1.0; }
+
+  /// Throws esched::Error unless rates are positive/non-negative and k >= 1.
+  void validate() const;
+
+  /// Builds parameters with the given total load `rho`, splitting arrivals
+  /// equally (lambda_I == lambda_E) — the convention used throughout the
+  /// paper's Figures 4-6. Given rho and lambda_I = lambda_E = lambda:
+  ///   lambda (1/(k mu_I) + 1/(k mu_E)) = rho
+  static SystemParams from_load(int k, double mu_i, double mu_e, double rho);
+};
+
+}  // namespace esched

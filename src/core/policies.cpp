@@ -1,0 +1,150 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace {
+
+double as_double(long v) { return static_cast<double>(v); }
+
+/// Hands any capacity the base rule left on the table to jobs that can
+/// still use it — inelastic first (up to one server per job), then elastic
+/// (up to the per-job elasticity cap). In the paper's fully elastic model
+/// this is a no-op for all shipped policies; it matters once
+/// SystemParams::elastic_cap binds (the §6 extension), where blindly
+/// granting servers to a capped elastic class would silently idle them.
+Allocation redistribute_leftovers(Allocation a, const State& state,
+                                  const SystemParams& params) {
+  const double kd = static_cast<double>(params.k);
+  double leftover = kd - a.total();
+  if (leftover <= 0.0) return a;
+  const double take_i =
+      std::min(leftover, as_double(state.i) - a.inelastic);
+  if (take_i > 0.0) {
+    a.inelastic += take_i;
+    leftover -= take_i;
+  }
+  const double usable_e =
+      params.elastic_cap_or_k() * as_double(state.j) - a.elastic;
+  const double take_e = std::min(leftover, usable_e);
+  if (take_e > 0.0) a.elastic += take_e;
+  return a;
+}
+
+}  // namespace
+
+Allocation InelasticFirst::allocate(const State& state,
+                                    const SystemParams& params) const {
+  const double kd = static_cast<double>(params.k);
+  Allocation a;
+  a.inelastic = std::min(as_double(state.i), kd);
+  a.elastic =
+      state.j > 0
+          ? std::min(kd - a.inelastic,
+                     params.elastic_cap_or_k() * as_double(state.j))
+          : 0.0;
+  return a;
+}
+
+Allocation ElasticFirst::allocate(const State& state,
+                                  const SystemParams& params) const {
+  const double kd = static_cast<double>(params.k);
+  Allocation a;
+  if (state.j > 0) {
+    // Fully elastic jobs absorb the whole cluster; capped ones take what
+    // they can use, and inelastic jobs get the rest.
+    a.elastic = std::min(kd, params.elastic_cap_or_k() * as_double(state.j));
+    a.inelastic = std::min(as_double(state.i), kd - a.elastic);
+  } else {
+    a.inelastic = std::min(as_double(state.i), kd);
+  }
+  return a;
+}
+
+Allocation FairShare::allocate(const State& state,
+                               const SystemParams& params) const {
+  const double kd = static_cast<double>(params.k);
+  Allocation a;
+  if (state.i == 0 && state.j == 0) return a;
+  if (state.j == 0) {
+    a.inelastic = std::min(as_double(state.i), kd);
+    return a;
+  }
+  const double share =
+      kd * as_double(state.i) / as_double(state.i + state.j);
+  a.inelastic = std::min(as_double(state.i), share);
+  a.elastic = std::min(kd - a.inelastic,
+                       params.elastic_cap_or_k() * as_double(state.j));
+  return redistribute_leftovers(a, state, params);
+}
+
+InelasticCap::InelasticCap(int cap) : cap_(cap) {
+  ESCHED_CHECK(cap >= 0, "cap must be non-negative");
+}
+
+Allocation InelasticCap::allocate(const State& state,
+                                  const SystemParams& params) const {
+  const double kd = static_cast<double>(params.k);
+  Allocation a;
+  if (state.j > 0) {
+    a.inelastic =
+        std::min({as_double(state.i), static_cast<double>(cap_), kd});
+    a.elastic = std::min(kd - a.inelastic,
+                         params.elastic_cap_or_k() * as_double(state.j));
+    // With a binding elasticity cap, work conservation overrides the
+    // policy's contention cap: leftover servers go back to inelastic jobs.
+    a = redistribute_leftovers(a, state, params);
+  } else {
+    a.inelastic = std::min(as_double(state.i), kd);
+  }
+  return a;
+}
+
+std::string InelasticCap::name() const {
+  return "InelasticCap(" + std::to_string(cap_) + ")";
+}
+
+IdlingPolicy::IdlingPolicy(PolicyPtr inner, double idle_servers)
+    : inner_(std::move(inner)), idle_servers_(idle_servers) {
+  ESCHED_CHECK(inner_ != nullptr, "inner policy must be non-null");
+  ESCHED_CHECK(idle_servers_ >= 0.0, "idle_servers must be non-negative");
+}
+
+Allocation IdlingPolicy::allocate(const State& state,
+                                  const SystemParams& params) const {
+  Allocation a = inner_->allocate(state, params);
+  // Withhold capacity, elastic first (it is the flexible class), then
+  // inelastic, never going negative.
+  double to_idle = idle_servers_;
+  const double from_elastic = std::min(a.elastic, to_idle);
+  a.elastic -= from_elastic;
+  to_idle -= from_elastic;
+  a.inelastic -= std::min(a.inelastic, to_idle);
+  return a;
+}
+
+std::string IdlingPolicy::name() const {
+  return "Idling(" + inner_->name() + ")";
+}
+
+PolicyPtr make_inelastic_first() {
+  return std::make_shared<InelasticFirst>();
+}
+
+PolicyPtr make_elastic_first() { return std::make_shared<ElasticFirst>(); }
+
+PolicyPtr make_fair_share() { return std::make_shared<FairShare>(); }
+
+PolicyPtr make_inelastic_cap(int cap) {
+  return std::make_shared<InelasticCap>(cap);
+}
+
+PolicyPtr make_idling(PolicyPtr inner, double idle_servers) {
+  return std::make_shared<IdlingPolicy>(std::move(inner), idle_servers);
+}
+
+}  // namespace esched

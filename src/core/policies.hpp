@@ -1,0 +1,82 @@
+// Concrete allocation policies.
+//
+// InelasticFirst and ElasticFirst are the two policies the paper analyzes.
+// The remaining policies populate the class P of work-conserving,
+// inelastic-FCFS policies (§4.2) so the optimality experiments can compare
+// IF against genuinely different members of P, plus a deliberately idling
+// wrapper for the Appendix B result.
+#pragma once
+
+#include <memory>
+
+#include "core/policy.hpp"
+
+namespace esched {
+
+/// IF (paper §2): every inelastic job gets one server (up to k, FCFS);
+/// leftover servers go to elastic jobs.
+class InelasticFirst final : public AllocationPolicy {
+ public:
+  Allocation allocate(const State& state,
+                      const SystemParams& params) const override;
+  std::string name() const override { return "IF"; }
+};
+
+/// EF (paper §2): elastic jobs get all k servers whenever present; with no
+/// elastic jobs, inelastic jobs get one server each (up to k, FCFS).
+class ElasticFirst final : public AllocationPolicy {
+ public:
+  Allocation allocate(const State& state,
+                      const SystemParams& params) const override;
+  std::string name() const override { return "EF"; }
+};
+
+/// Work-conserving proportional split: inelastic jobs claim a share of the
+/// servers proportional to their head count, i.e. pi_I = min(i, k*i/(i+j)),
+/// with elastic jobs absorbing the remainder. A "fair" member of P.
+class FairShare final : public AllocationPolicy {
+ public:
+  Allocation allocate(const State& state,
+                      const SystemParams& params) const override;
+  std::string name() const override { return "FairShare"; }
+};
+
+/// Serves at most `cap` inelastic jobs while elastic jobs are present
+/// (elastic jobs take the rest); with no elastic jobs, behaves like IF.
+/// cap == k reduces to IF; cap == 0 reduces to EF. Sweeping cap explores a
+/// one-parameter slice of P between the two extremes.
+class InelasticCap final : public AllocationPolicy {
+ public:
+  explicit InelasticCap(int cap);
+  Allocation allocate(const State& state,
+                      const SystemParams& params) const override;
+  std::string name() const override;
+
+ private:
+  int cap_;
+};
+
+/// Wraps another policy and idles `idle_servers` servers whenever the inner
+/// policy would have used them (subject to feasibility). Deliberately NOT
+/// work conserving — exists to exercise the Appendix B theorem that idling
+/// cannot help.
+class IdlingPolicy final : public AllocationPolicy {
+ public:
+  IdlingPolicy(PolicyPtr inner, double idle_servers);
+  Allocation allocate(const State& state,
+                      const SystemParams& params) const override;
+  std::string name() const override;
+
+ private:
+  PolicyPtr inner_;
+  double idle_servers_;
+};
+
+/// Convenience factories.
+PolicyPtr make_inelastic_first();
+PolicyPtr make_elastic_first();
+PolicyPtr make_fair_share();
+PolicyPtr make_inelastic_cap(int cap);
+PolicyPtr make_idling(PolicyPtr inner, double idle_servers);
+
+}  // namespace esched

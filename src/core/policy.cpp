@@ -1,0 +1,58 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace {
+constexpr double kFeasibilitySlack = 1e-9;
+}
+
+bool AllocationPolicy::is_work_conserving_at(const State& state,
+                                             const SystemParams& params) const {
+  const Allocation a = allocate(state, params);
+  const double kd = static_cast<double>(params.k);
+  // Work conservation (§2, generalized for bounded elasticity): the total
+  // allocation must cover the usable demand min(k, i + cap*j) — one server
+  // per inelastic job plus up to cap servers per elastic job. In the base
+  // model (cap = k) this reduces to the paper's definition: all k servers
+  // busy whenever an elastic job is present, and min(i, k) otherwise.
+  const double demand =
+      std::min(kd, static_cast<double>(state.i) +
+                       params.elastic_cap_or_k() *
+                           static_cast<double>(state.j));
+  return a.total() >= demand - kFeasibilitySlack;
+}
+
+void AllocationPolicy::check_feasible(const State& state,
+                                      const SystemParams& params) const {
+  const Allocation a = allocate(state, params);
+  const double kd = static_cast<double>(params.k);
+  ESCHED_CHECK(state.i >= 0 && state.j >= 0, "state counts must be >= 0");
+  ESCHED_CHECK(a.inelastic >= -kFeasibilitySlack && a.elastic >= -kFeasibilitySlack,
+               "allocations must be non-negative (policy " + name() + ")");
+  ESCHED_CHECK(a.inelastic <= static_cast<double>(state.i) + kFeasibilitySlack,
+               "inelastic allocation exceeds job count (policy " + name() + ")");
+  if (state.j == 0) {
+    ESCHED_CHECK(a.elastic <= kFeasibilitySlack,
+                 "elastic allocation without elastic jobs (policy " + name() +
+                     ")");
+  }
+  ESCHED_CHECK(a.total() <= kd + kFeasibilitySlack,
+               "total allocation exceeds k (policy " + name() + ")");
+}
+
+bool is_work_conserving(const AllocationPolicy& policy,
+                        const SystemParams& params, long imax, long jmax) {
+  for (long i = 0; i <= imax; ++i) {
+    for (long j = 0; j <= jmax; ++j) {
+      if (!policy.is_work_conserving_at({i, j}, params)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace esched

@@ -1,0 +1,62 @@
+// The allocation-policy abstraction (paper §2).
+//
+// A stationary deterministic policy maps the state (i, j) = (#inelastic,
+// #elastic) to a feasible server allocation (pi_I, pi_E):
+//   pi_I <= i,  pi_E <= k * 1{j > 0},  pi_I + pi_E <= k,
+// with fractional allocations allowed. Work-conserving policies
+// additionally never idle servers while eligible jobs exist.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/params.hpp"
+
+namespace esched {
+
+/// A system state: i inelastic and j elastic jobs present.
+struct State {
+  long i = 0;
+  long j = 0;
+
+  friend bool operator==(const State&, const State&) = default;
+};
+
+/// Servers assigned to each class (fractional allowed).
+struct Allocation {
+  double inelastic = 0.0;
+  double elastic = 0.0;
+
+  double total() const { return inelastic + elastic; }
+};
+
+/// Interface for stationary deterministic allocation policies.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  /// Feasible allocation in state `state` for a system with `params.k`
+  /// servers. Implementations must satisfy the constraints above;
+  /// check_feasible() verifies them.
+  virtual Allocation allocate(const State& state,
+                              const SystemParams& params) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True when the policy never idles servers while eligible jobs exist,
+  /// evaluated at `state` (the class-P / work-conserving property of §2).
+  bool is_work_conserving_at(const State& state,
+                             const SystemParams& params) const;
+
+  /// Throws esched::Error if allocate(state) violates the §2 constraints.
+  void check_feasible(const State& state, const SystemParams& params) const;
+};
+
+/// Verifies work conservation on the full grid {0..imax} x {0..jmax}.
+bool is_work_conserving(const AllocationPolicy& policy,
+                        const SystemParams& params, long imax = 32,
+                        long jmax = 32);
+
+using PolicyPtr = std::shared_ptr<const AllocationPolicy>;
+
+}  // namespace esched

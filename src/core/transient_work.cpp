@@ -1,0 +1,68 @@
+#include "core/transient_work.hpp"
+
+#include "common/error.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/transient.hpp"
+
+namespace esched {
+
+std::vector<ExpectedWork> expected_work_trajectory(
+    const SystemParams& params, const AllocationPolicy& policy,
+    const State& start, const std::vector<double>& times,
+    const TransientWorkOptions& options) {
+  params.validate();
+  ESCHED_CHECK(start.i >= 0 && start.j >= 0, "start state must be valid");
+  ESCHED_CHECK(start.i <= options.imax && start.j <= options.jmax,
+               "start state outside the truncation");
+
+  const long ni = options.imax + 1;
+  const long nj = options.jmax + 1;
+  const auto index = [nj](long i, long j) {
+    return static_cast<std::size_t>(i * nj + j);
+  };
+  SparseCtmc chain(static_cast<std::size_t>(ni * nj));
+  Vector reward_i(static_cast<std::size_t>(ni * nj), 0.0);
+  Vector reward_e(static_cast<std::size_t>(ni * nj), 0.0);
+  for (long i = 0; i < ni; ++i) {
+    for (long j = 0; j < nj; ++j) {
+      const State state{i, j};
+      const Allocation a = policy.allocate(state, params);
+      const std::size_t s = index(i, j);
+      // Expected remaining work per class (memoryless sizes): counts over
+      // the size rates.
+      reward_i[s] = static_cast<double>(i) / params.mu_i;
+      reward_e[s] = static_cast<double>(j) / params.mu_e;
+      if (i + 1 < ni) chain.add_rate(s, index(i + 1, j), params.lambda_i);
+      if (j + 1 < nj) chain.add_rate(s, index(i, j + 1), params.lambda_e);
+      if (i > 0 && a.inelastic > 0.0) {
+        chain.add_rate(s, index(i - 1, j), a.inelastic * params.mu_i);
+      }
+      const double usable = params.usable_elastic(a.elastic, j);
+      if (j > 0 && usable > 0.0) {
+        chain.add_rate(s, index(i, j - 1), usable * params.mu_e);
+      }
+    }
+  }
+  chain.freeze();
+
+  Vector initial(static_cast<std::size_t>(ni * nj), 0.0);
+  initial[index(start.i, start.j)] = 1.0;
+
+  std::vector<ExpectedWork> out;
+  out.reserve(times.size());
+  double prev = -1.0;
+  for (double t : times) {
+    ESCHED_CHECK(t >= 0.0 && t >= prev, "times must be non-decreasing");
+    prev = t;
+    const Vector dist =
+        transient_distribution(chain, initial, t, options.tail_epsilon);
+    ExpectedWork point;
+    point.time = t;
+    point.inelastic = dot(dist, reward_i);
+    point.total = point.inelastic + dot(dist, reward_e);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace esched

@@ -1,0 +1,39 @@
+// Expected-work trajectories E[W(t)], E[W_I(t)] under a policy.
+//
+// The expectation companion to the sample-path Theorem 3: starting from a
+// fixed state, IF's expected total and inelastic work are at most any
+// class-P policy's at every time t. Computed exactly (up to truncation)
+// via uniformization on the policy's 2-D chain, using the memoryless
+// identity E[W(t)] = E[N_I(t)]/mu_I + E[N_E(t)]/mu_E (Lemma 4 applied
+// pointwise in time).
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/policy.hpp"
+
+namespace esched {
+
+/// One point of an expected-work trajectory.
+struct ExpectedWork {
+  double time = 0.0;
+  double total = 0.0;      ///< E[W(t)]
+  double inelastic = 0.0;  ///< E[W_I(t)]
+};
+
+/// Options for the transient solve.
+struct TransientWorkOptions {
+  long imax = 80;   ///< truncation of the inelastic dimension
+  long jmax = 80;   ///< truncation of the elastic dimension
+  double tail_epsilon = 1e-10;
+};
+
+/// Computes E[W(t)] and E[W_I(t)] at each requested time (non-decreasing),
+/// starting from `start` with the full arrival processes running.
+std::vector<ExpectedWork> expected_work_trajectory(
+    const SystemParams& params, const AllocationPolicy& policy,
+    const State& start, const std::vector<double>& times,
+    const TransientWorkOptions& options = {});
+
+}  // namespace esched

@@ -1,0 +1,113 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  ESCHED_CHECK(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    ESCHED_CHECK(best > 1e-300, "matrix is numerically singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(pivot, c), lu_(col, c));
+      }
+      std::swap(perm_[pivot], perm_[col]);
+    }
+    const double inv_diag = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) * inv_diag;
+      lu_(r, col) = factor;  // store the multiplier in place
+      if (factor == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  ESCHED_CHECK(b.size() == n, "rhs dimension mismatch in LU solve");
+  Vector x(n);
+  // Forward substitution with the permuted rhs.
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  const std::size_t n = dim();
+  ESCHED_CHECK(b.rows() == n, "rhs dimension mismatch in LU solve");
+  Matrix x(n, b.cols());
+  Vector col(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Vector LuFactorization::solve_transposed(const Vector& b) const {
+  // Solve A^T x = b by solving U^T y = b then L^T z = y, undoing the row
+  // permutation at the end (A = P^T L U ⇒ A^T = U^T L^T P).
+  const std::size_t n = dim();
+  ESCHED_CHECK(b.size() == n, "rhs dimension mismatch in LU solve");
+  Vector y(n);
+  // U^T is lower triangular: forward substitution.
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(c, r) * y[c];
+    y[r] = acc / lu_(r, r);
+  }
+  // L^T is upper triangular with unit diagonal: back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(c, ri) * y[c];
+    y[ri] = acc;
+  }
+  // x = P^T y: entry perm_[r] of x is y[r].
+  Vector x(n);
+  for (std::size_t r = 0; r < n; ++r) x[perm_[r]] = y[r];
+  return x;
+}
+
+Matrix LuFactorization::inverse() const {
+  return solve(Matrix::identity(dim()));
+}
+
+Vector lu_solve(Matrix a, const Vector& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+Matrix lu_inverse(Matrix a) {
+  return LuFactorization(std::move(a)).inverse();
+}
+
+}  // namespace esched

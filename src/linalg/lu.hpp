@@ -1,0 +1,40 @@
+// LU factorization with partial pivoting, plus solve/inverse built on it.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace esched {
+
+/// LU factorization with partial pivoting of a square matrix. Throws
+/// esched::Error when the matrix is numerically singular.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves x^T A = b^T (i.e., A^T x = b) — the form stationary equations
+  /// naturally take.
+  Vector solve_transposed(const Vector& b) const;
+
+  /// A^{-1}; prefer solve() when possible.
+  Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation applied to inputs
+};
+
+/// One-shot convenience: solves A x = b.
+Vector lu_solve(Matrix a, const Vector& b);
+
+/// One-shot convenience: A^{-1}.
+Matrix lu_inverse(Matrix a);
+
+}  // namespace esched

@@ -1,0 +1,80 @@
+// Dense row-major matrix and vector helpers.
+//
+// The matrix-analytic solver works with small dense blocks (phase counts of
+// a few dozen), so a straightforward dense implementation with contiguous
+// storage is both simple and fast; no external BLAS is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace esched {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  Matrix transpose() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product a * b.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Row-vector times matrix: (x^T A)^T.
+Vector vecmat(const Vector& x, const Matrix& a);
+
+/// Matrix times column vector: A x.
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// Dot product.
+double dot(const Vector& a, const Vector& b);
+
+/// Sum of entries.
+double sum(const Vector& x);
+
+/// Max-absolute-entry norm of a matrix.
+double max_abs(const Matrix& a);
+
+/// Max-absolute-entry norm of a vector.
+double max_abs(const Vector& x);
+
+/// Max-absolute elementwise difference.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Scales a vector in place so its entries sum to 1; requires positive sum.
+void normalize_probability(Vector& x);
+
+}  // namespace esched

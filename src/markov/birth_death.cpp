@@ -1,0 +1,63 @@
+#include "markov/birth_death.hpp"
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace esched {
+
+double Moments3::scv() const {
+  ESCHED_CHECK(m1 > 0.0, "scv of degenerate distribution");
+  return m2 / (m1 * m1) - 1.0;
+}
+
+Moments3 birth_death_descent_moments(const std::vector<double>& birth,
+                                     const std::vector<double>& death) {
+  const std::size_t n = birth.size();
+  ESCHED_CHECK(n >= 1, "need at least one state");
+  ESCHED_CHECK(death.size() == n, "birth/death size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    ESCHED_CHECK(death[i] > 0.0, "death rates must be positive");
+    ESCHED_CHECK(birth[i] >= 0.0, "birth rates must be non-negative");
+  }
+
+  // Top state: births truncated, so T_N ~ Exp(death_N).
+  double m1 = 1.0 / death[n - 1];
+  double m2 = 2.0 / sq(death[n - 1]);
+  double m3 = 6.0 / (death[n - 1] * sq(death[n - 1]));
+
+  // Walk down: level i uses level i+1's (m1, m2, m3).
+  for (std::size_t idx = n - 1; idx-- > 0;) {
+    const double lam = birth[idx];
+    const double mu = death[idx];
+    const double total = lam + mu;
+    const double a = lam / total;          // P(go up before down)
+    const double ex1 = 1.0 / total;        // E[X], X ~ Exp(total)
+    const double ex2 = 2.0 / sq(total);
+    const double ex3 = 6.0 / (total * sq(total));
+
+    // First moment: m = ex1 + a (m_up + m)  =>  m (1-a) = ex1 + a m_up.
+    const double new_m1 = (ex1 + a * m1) / (1.0 - a);
+
+    // Second moment: T = X + D with D = (T_up + T') w.p. a, else 0;
+    // X independent of D. E[T^2] = E[X^2] + 2 E[X] E[D] + E[D^2].
+    const double ed1 = a * (m1 + new_m1);
+    // E[D^2] = a (m2_up + 2 m1_up m1 + m2): contains the unknown m2.
+    const double new_m2 =
+        (ex2 + 2.0 * ex1 * ed1 + a * (m2 + 2.0 * m1 * new_m1)) / (1.0 - a);
+
+    // Third moment: E[T^3] = E[X^3] + 3E[X^2]E[D] + 3E[X]E[D^2] + E[D^3],
+    // E[D^3] = a (m3_up + 3 m2_up m1 + 3 m1_up m2 + m3).
+    const double ed2 = a * (m2 + 2.0 * m1 * new_m1 + new_m2);
+    const double new_m3 =
+        (ex3 + 3.0 * ex2 * ed1 + 3.0 * ex1 * ed2 +
+         a * (m3 + 3.0 * m2 * new_m1 + 3.0 * m1 * new_m2)) /
+        (1.0 - a);
+
+    m1 = new_m1;
+    m2 = new_m2;
+    m3 = new_m3;
+  }
+  return {m1, m2, m3};
+}
+
+}  // namespace esched

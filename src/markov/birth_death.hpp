@@ -1,0 +1,37 @@
+// First-passage-time moments in birth-death chains.
+//
+// Used to validate the closed-form M/M/1 busy-period moments that feed the
+// busy-period transformation (paper §5.2): the busy period is exactly the
+// first passage time from state 1 to state 0 of the M/M/1 queue-length
+// chain. The recursion below computes the first three moments of the
+// downward first-passage time exactly on a truncated chain.
+#pragma once
+
+#include <vector>
+
+namespace esched {
+
+/// Raw moments (m1, m2, m3) of a distribution.
+struct Moments3 {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+
+  /// Squared coefficient of variation m2/m1^2 - 1.
+  double scv() const;
+};
+
+/// Moments of the first passage time from state 1 to state 0 in a
+/// birth-death chain with birth rates `birth[i]` and death rates `death[i]`
+/// for states i = 1..N (vectors are indexed from state 1; size N). The
+/// chain is truncated at N: births from state N are ignored, which is
+/// accurate when the chain is stable and N is large enough that the
+/// probability of reaching N is negligible.
+///
+/// Recursion (T_i = passage time i -> i-1, a_i = birth_i/(birth_i+death_i)):
+///   T_i = X_i + Bernoulli(a_i) * (T_{i+1} + T_i'),  X_i ~ Exp(birth+death)
+/// which yields linear equations for each moment given the higher level's.
+Moments3 birth_death_descent_moments(const std::vector<double>& birth,
+                                     const std::vector<double>& death);
+
+}  // namespace esched

@@ -1,0 +1,82 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+SparseCtmc::SparseCtmc(std::size_t num_states)
+    : num_states_(num_states), adj_(num_states), exit_rates_(num_states, 0.0) {
+  ESCHED_CHECK(num_states > 0, "CTMC needs at least one state");
+}
+
+void SparseCtmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  ESCHED_CHECK(!frozen_, "cannot add transitions after freeze()");
+  ESCHED_CHECK(from < num_states_ && to < num_states_,
+               "transition endpoint out of range");
+  ESCHED_CHECK(from != to, "self-loops are not allowed in a CTMC generator");
+  ESCHED_CHECK(rate >= 0.0, "transition rate must be non-negative");
+  if (rate == 0.0) return;
+  adj_[from].push_back({from, to, rate});
+  exit_rates_[from] += rate;
+}
+
+void SparseCtmc::freeze() {
+  ESCHED_CHECK(!frozen_, "freeze() called twice");
+  for (auto& row : adj_) {
+    std::sort(row.begin(), row.end(),
+              [](const CtmcTransition& a, const CtmcTransition& b) {
+                return a.to < b.to;
+              });
+    // Merge duplicate destinations.
+    std::vector<CtmcTransition> merged;
+    merged.reserve(row.size());
+    for (const auto& t : row) {
+      if (!merged.empty() && merged.back().to == t.to) {
+        merged.back().rate += t.rate;
+      } else {
+        merged.push_back(t);
+      }
+    }
+    row = std::move(merged);
+  }
+  frozen_ = true;
+}
+
+double SparseCtmc::exit_rate(std::size_t state) const {
+  ESCHED_CHECK(state < num_states_, "state out of range");
+  return exit_rates_[state];
+}
+
+double SparseCtmc::max_exit_rate() const {
+  double best = 0.0;
+  for (double r : exit_rates_) best = std::max(best, r);
+  return best;
+}
+
+const std::vector<CtmcTransition>& SparseCtmc::transitions_from(
+    std::size_t state) const {
+  ESCHED_CHECK(frozen_, "freeze() must be called before queries");
+  ESCHED_CHECK(state < num_states_, "state out of range");
+  return adj_[state];
+}
+
+std::vector<CtmcTransition> SparseCtmc::all_transitions() const {
+  ESCHED_CHECK(frozen_, "freeze() must be called before queries");
+  std::vector<CtmcTransition> out;
+  for (const auto& row : adj_) out.insert(out.end(), row.begin(), row.end());
+  return out;
+}
+
+Matrix SparseCtmc::dense_generator() const {
+  ESCHED_CHECK(frozen_, "freeze() must be called before queries");
+  Matrix q(num_states_, num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (const auto& t : adj_[s]) q(t.from, t.to) += t.rate;
+    q(s, s) = -exit_rates_[s];
+  }
+  return q;
+}
+
+}  // namespace esched

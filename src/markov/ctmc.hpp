@@ -1,0 +1,61 @@
+// Sparse continuous-time Markov chain representation.
+//
+// States are dense indices 0..n-1; the caller owns the mapping from model
+// states (e.g., (i, j) job counts) to indices. Only off-diagonal rates are
+// stored; diagonals are implied by row sums.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace esched {
+
+/// One off-diagonal transition of a CTMC.
+struct CtmcTransition {
+  std::size_t from;
+  std::size_t to;
+  double rate;
+};
+
+/// Sparse CTMC builder with per-state adjacency (CSR-like after freeze()).
+class SparseCtmc {
+ public:
+  explicit SparseCtmc(std::size_t num_states);
+
+  std::size_t num_states() const { return num_states_; }
+
+  /// Adds an off-diagonal transition; rate must be >= 0 (zero is dropped),
+  /// from != to. Duplicate (from, to) pairs accumulate.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  /// Sorts and merges transitions; must be called before queries below.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Total exit rate of a state (sum of off-diagonal rates).
+  double exit_rate(std::size_t state) const;
+
+  /// Largest exit rate over all states (the uniformization constant).
+  double max_exit_rate() const;
+
+  /// Transitions leaving `state` (valid after freeze()).
+  const std::vector<CtmcTransition>& transitions_from(std::size_t state) const;
+
+  /// All transitions, grouped by source state.
+  std::vector<CtmcTransition> all_transitions() const;
+
+  /// Dense generator matrix Q (rows sum to zero). Only sensible for small
+  /// chains; used by the GTH solver and in tests.
+  Matrix dense_generator() const;
+
+ private:
+  std::size_t num_states_;
+  bool frozen_ = false;
+  std::vector<std::vector<CtmcTransition>> adj_;
+  std::vector<double> exit_rates_;
+};
+
+}  // namespace esched

@@ -1,0 +1,136 @@
+#include "markov/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+Vector gth_stationary(Matrix q) {
+  ESCHED_CHECK(q.rows() == q.cols(), "generator must be square");
+  const std::size_t n = q.rows();
+  ESCHED_CHECK(n >= 1, "generator must be non-empty");
+  // GTH elimination uses only the off-diagonal (non-negative) rates and
+  // performs no subtractions, so it is backward stable for probabilities.
+  for (std::size_t m = n; m-- > 1;) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += q(m, j);
+    ESCHED_CHECK(s > 0.0, "chain is reducible: state has no path down");
+    for (std::size_t i = 0; i < m; ++i) q(i, m) /= s;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double factor = q(i, m);
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != i) q(i, j) += factor * q(m, j);
+      }
+    }
+  }
+  Vector pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t m = 1; m < n; ++m) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += pi[i] * q(i, m);
+    pi[m] = acc;
+  }
+  normalize_probability(pi);
+  return pi;
+}
+
+Vector gth_stationary(const SparseCtmc& chain) {
+  return gth_stationary(chain.dense_generator());
+}
+
+namespace {
+
+/// Incoming adjacency: for each state, the transitions that enter it.
+std::vector<std::vector<CtmcTransition>> incoming_adjacency(
+    const SparseCtmc& chain) {
+  std::vector<std::vector<CtmcTransition>> in(chain.num_states());
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    for (const auto& t : chain.transitions_from(s)) in[t.to].push_back(t);
+  }
+  return in;
+}
+
+}  // namespace
+
+double stationary_residual(const SparseCtmc& chain, const Vector& pi) {
+  ESCHED_CHECK(pi.size() == chain.num_states(), "pi dimension mismatch");
+  Vector flow(chain.num_states(), 0.0);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    flow[s] -= pi[s] * chain.exit_rate(s);
+    for (const auto& t : chain.transitions_from(s)) {
+      flow[t.to] += pi[s] * t.rate;
+    }
+  }
+  return max_abs(flow);
+}
+
+Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
+                      double omega, StationarySolveInfo* info) {
+  ESCHED_CHECK(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
+  const std::size_t n = chain.num_states();
+  const auto in = incoming_adjacency(chain);
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  StationarySolveInfo local;
+  for (local.iterations = 1; local.iterations <= max_iters;
+       ++local.iterations) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const double exit = chain.exit_rate(s);
+      if (exit == 0.0) continue;  // absorbing states keep their mass
+      double inflow = 0.0;
+      for (const auto& t : in[s]) inflow += pi[t.from] * t.rate;
+      const double gs = inflow / exit;
+      pi[s] = (1.0 - omega) * pi[s] + omega * gs;
+    }
+    normalize_probability(pi);
+    // Checking the residual every sweep would double the work; every 10th
+    // sweep keeps the overhead low while stopping promptly.
+    if (local.iterations % 10 == 0 || local.iterations == max_iters) {
+      local.residual = stationary_residual(chain, pi);
+      if (local.residual < tol) {
+        local.converged = true;
+        break;
+      }
+    }
+  }
+  if (info != nullptr) *info = local;
+  return pi;
+}
+
+Vector power_stationary(const SparseCtmc& chain, double tol, int max_iters,
+                        StationarySolveInfo* info) {
+  const std::size_t n = chain.num_states();
+  // Strictly exceed the max exit rate so the uniformized DTMC is aperiodic.
+  const double uniformization = chain.max_exit_rate() * 1.05 + 1e-9;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector next(n, 0.0);
+  StationarySolveInfo local;
+  for (local.iterations = 1; local.iterations <= max_iters;
+       ++local.iterations) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double stay = 1.0 - chain.exit_rate(s) / uniformization;
+      next[s] += pi[s] * stay;
+      for (const auto& t : chain.transitions_from(s)) {
+        next[t.to] += pi[s] * t.rate / uniformization;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      delta = std::max(delta, std::abs(next[s] - pi[s]));
+    }
+    pi.swap(next);
+    if (delta * uniformization < tol) {
+      local.converged = true;
+      break;
+    }
+  }
+  normalize_probability(pi);
+  local.residual = stationary_residual(chain, pi);
+  if (info != nullptr) *info = local;
+  return pi;
+}
+
+}  // namespace esched

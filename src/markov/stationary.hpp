@@ -1,0 +1,46 @@
+// Stationary distribution solvers for finite CTMCs.
+//
+// Three algorithms with different size/robustness trade-offs:
+//  - GTH elimination: O(n^3), no subtractions (numerically exact for
+//    probabilities), the right choice for n up to ~1-2k states.
+//  - Gauss-Seidel/SOR on the balance equations: sparse, O(nnz) per sweep,
+//    for the truncated 2-D chains (tens of thousands of states).
+//  - Uniformized power iteration: simple and always convergent for ergodic
+//    chains; used as a cross-check in tests.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "markov/ctmc.hpp"
+
+namespace esched {
+
+/// Result of an iterative stationary solve.
+struct StationarySolveInfo {
+  int iterations = 0;
+  double residual = 0.0;  // max |pi Q| entry at exit
+  bool converged = false;
+};
+
+/// GTH (Grassmann-Taksar-Heyman) elimination on a dense generator. The
+/// chain must be irreducible. Returns the stationary probability vector.
+Vector gth_stationary(Matrix generator);
+
+/// Convenience overload building the dense generator from a sparse chain.
+Vector gth_stationary(const SparseCtmc& chain);
+
+/// Gauss-Seidel / SOR iteration on the global balance equations of a sparse
+/// CTMC. `omega` in (0, 2); omega = 1 is plain Gauss-Seidel. Iterates until
+/// the residual max|pi Q| drops below `tol` or `max_iters` sweeps elapse.
+Vector sor_stationary(const SparseCtmc& chain, double tol = 1e-12,
+                      int max_iters = 20000, double omega = 1.0,
+                      StationarySolveInfo* info = nullptr);
+
+/// Uniformized power iteration: P = I + Q/Lambda, pi <- pi P until stable.
+Vector power_stationary(const SparseCtmc& chain, double tol = 1e-12,
+                        int max_iters = 1000000,
+                        StationarySolveInfo* info = nullptr);
+
+/// Residual max_s |(pi Q)_s| — a direct check that `pi` satisfies balance.
+double stationary_residual(const SparseCtmc& chain, const Vector& pi);
+
+}  // namespace esched

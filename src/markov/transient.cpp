@@ -1,0 +1,83 @@
+#include "markov/transient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace {
+
+/// One DTMC step of the uniformized chain: out = in * P, P = I + Q/L.
+void uniformized_step(const SparseCtmc& chain, double uniformization,
+                      const Vector& in, Vector& out) {
+  const std::size_t n = chain.num_states();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = in[s];
+    if (mass == 0.0) continue;
+    out[s] += mass * (1.0 - chain.exit_rate(s) / uniformization);
+    for (const auto& tr : chain.transitions_from(s)) {
+      out[tr.to] += mass * tr.rate / uniformization;
+    }
+  }
+}
+
+}  // namespace
+
+Vector transient_distribution(const SparseCtmc& chain, const Vector& initial,
+                              double t, double tail_epsilon) {
+  const std::size_t n = chain.num_states();
+  ESCHED_CHECK(initial.size() == n, "initial distribution dimension mismatch");
+  ESCHED_CHECK(t >= 0.0, "time must be non-negative");
+  ESCHED_CHECK(tail_epsilon > 0.0, "tail_epsilon must be positive");
+  if (t == 0.0) return initial;
+
+  const double uniformization = chain.max_exit_rate() * 1.02 + 1e-12;
+  const double lt = uniformization * t;
+  Vector power = initial;  // pi(0) P^k
+  Vector next(n);
+  Vector result(n, 0.0);
+  double log_poisson = -lt;  // log weight at k = 0
+  double tail = 1.0;
+  // Poisson mixture; stop once the remaining mass is below tail_epsilon
+  // and we are past the mode (weights are then decreasing).
+  for (int k = 0; k < 10000000; ++k) {
+    const double w = std::exp(log_poisson);
+    if (w > 0.0) {
+      for (std::size_t s = 0; s < n; ++s) result[s] += w * power[s];
+      tail -= w;
+    }
+    if (tail < tail_epsilon && static_cast<double>(k) > lt) break;
+    uniformized_step(chain, uniformization, power, next);
+    power.swap(next);
+    log_poisson += std::log(lt) - std::log(static_cast<double>(k + 1));
+  }
+  // Renormalize away the dropped tail (keeps the result a distribution).
+  double total = 0.0;
+  for (double v : result) total += v;
+  ESCHED_ASSERT(total > 0.0, "transient distribution lost all mass");
+  for (double& v : result) v /= total;
+  return result;
+}
+
+Vector transient_expected_reward(const SparseCtmc& chain,
+                                 const Vector& initial,
+                                 const Vector& reward_rate,
+                                 const Vector& times, double tail_epsilon) {
+  ESCHED_CHECK(reward_rate.size() == chain.num_states(),
+               "reward dimension mismatch");
+  Vector out;
+  out.reserve(times.size());
+  double prev = -1.0;
+  for (double t : times) {
+    ESCHED_CHECK(t >= 0.0 && t >= prev, "times must be non-decreasing");
+    prev = t;
+    const Vector dist = transient_distribution(chain, initial, t,
+                                               tail_epsilon);
+    out.push_back(dot(dist, reward_rate));
+  }
+  return out;
+}
+
+}  // namespace esched

@@ -1,0 +1,28 @@
+// Transient analysis of finite CTMCs via uniformization.
+//
+// pi(t) = pi(0) exp(Q t) computed as a Poisson mixture of DTMC powers:
+//   pi(t) = sum_k e^{-Lt} (Lt)^k / k! * pi(0) P^k,  P = I + Q / L.
+// Used for the expectation version of Theorem 3 — E[W(t)] trajectories
+// under different policies from a common start state — and as a general
+// library feature (numerically exact to a controllable Poisson tail).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "markov/ctmc.hpp"
+
+namespace esched {
+
+/// Distribution at time t starting from `initial` (t >= 0). `tail_epsilon`
+/// bounds the truncated Poisson mass (total variation error).
+Vector transient_distribution(const SparseCtmc& chain, const Vector& initial,
+                              double t, double tail_epsilon = 1e-12);
+
+/// Expected instantaneous reward E[r(X(t))] at each requested time, reusing
+/// one uniformization pass per time point. `times` must be non-decreasing.
+Vector transient_expected_reward(const SparseCtmc& chain,
+                                 const Vector& initial,
+                                 const Vector& reward_rate,
+                                 const Vector& times,
+                                 double tail_epsilon = 1e-12);
+
+}  // namespace esched

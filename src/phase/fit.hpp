@@ -1,0 +1,41 @@
+// Three-moment matching to phase-type distributions.
+//
+// The busy-period transformation (paper §5.2, citing Osogami &
+// Harchol-Balter [45]) replaces the M/M/1 busy-period transition with a
+// small phase-type distribution matching the busy period's first three
+// moments. M/M/1 busy periods always have SCV >= 1, for which a two-phase
+// Coxian suffices; we also ship an Erlang-Coxian fallback for SCV < 1 so
+// the fitter is total over feasible inputs.
+#pragma once
+
+#include "markov/birth_death.hpp"
+#include "phase/phase_type.hpp"
+
+namespace esched {
+
+/// Parameters of a two-phase Coxian (phase 1 rate nu1, continue w.p. p to
+/// phase 2 with rate nu2).
+struct Coxian2Params {
+  double nu1 = 0.0;
+  double nu2 = 0.0;
+  double p = 0.0;
+
+  PhaseType to_phase_type() const;
+};
+
+/// True when (m1, m2, m3) can be matched exactly by a two-phase Coxian:
+/// positive mean, SCV >= 1, and m3 >= (3/2) m2^2 / m1.
+bool coxian2_feasible(const Moments3& m);
+
+/// Matches the first three raw moments with a two-phase Coxian. Requires
+/// coxian2_feasible(m) (up to a small numerical slack, which is absorbed).
+/// Degenerate case SCV == 1 && m3 == exponential's returns p == 0.
+Coxian2Params fit_coxian2(const Moments3& m);
+
+/// General entry point: Coxian-2 when feasible, otherwise an Erlang-Coxian
+/// (Erlang stages feeding a Coxian tail) that matches m1 and m2 exactly and
+/// m3 as closely as the family allows. The result's moments are reported by
+/// PhaseType::moments3() so callers can check the fit quality.
+PhaseType fit_moments3(const Moments3& m);
+
+}  // namespace esched

@@ -1,0 +1,262 @@
+#include "qbd/qbd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+
+namespace esched {
+
+namespace {
+
+void check_nonnegative(const Matrix& m, const char* what) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      ESCHED_CHECK(m(r, c) >= 0.0, std::string("negative rate in ") + what);
+    }
+  }
+}
+
+void check_shape(const Matrix& m, std::size_t n, const char* what) {
+  ESCHED_CHECK(m.rows() == n && m.cols() == n,
+               std::string("bad block shape for ") + what);
+}
+
+/// Row sums of a rate matrix.
+Vector row_sums(const Matrix& m) {
+  Vector out(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c);
+  }
+  return out;
+}
+
+/// A1-style block: local off-diagonals plus the conservation diagonal
+/// -(rowsum(up) + rowsum(local) + rowsum(down)).
+Matrix with_diagonal(const Matrix& local, const Matrix& up,
+                     const Matrix& down) {
+  Matrix a1 = local;
+  const Vector su = row_sums(up);
+  const Vector sl = row_sums(local);
+  const Vector sd = row_sums(down);
+  for (std::size_t r = 0; r < a1.rows(); ++r) {
+    ESCHED_CHECK(local(r, r) == 0.0,
+                 "local blocks must not carry diagonal entries");
+    a1(r, r) = -(su[r] + sl[r] + sd[r]);
+  }
+  return a1;
+}
+
+/// Spectral radius via power iteration on |R| (R is non-negative here).
+double spectral_radius(const Matrix& r) {
+  const std::size_t n = r.rows();
+  Vector v(n, 1.0);
+  double lambda = 0.0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    Vector next = matvec(r, v);
+    const double norm = max_abs(next);
+    if (norm == 0.0) return 0.0;
+    for (double& x : next) x /= norm;
+    if (std::abs(norm - lambda) < 1e-13 * std::max(1.0, norm)) {
+      return norm;
+    }
+    lambda = norm;
+    v.swap(next);
+  }
+  return lambda;
+}
+
+}  // namespace
+
+void QbdProcess::validate() const {
+  const std::size_t m = num_phases;
+  ESCHED_CHECK(m > 0, "QBD needs at least one phase");
+  ESCHED_CHECK(first_repeating >= 1, "first_repeating must be >= 1");
+  ESCHED_CHECK(up.size() == first_repeating &&
+                   local.size() == first_repeating &&
+                   down.size() == first_repeating,
+               "boundary block vectors must have first_repeating entries");
+  for (std::size_t l = 0; l < first_repeating; ++l) {
+    check_shape(up[l], m, "up");
+    check_shape(local[l], m, "local");
+    check_shape(down[l], m, "down");
+    check_nonnegative(up[l], "up");
+    check_nonnegative(local[l], "local");
+    check_nonnegative(down[l], "down");
+  }
+  ESCHED_CHECK(max_abs(down[0]) == 0.0, "down[0] must be zero");
+  check_shape(rep_up, m, "rep_up");
+  check_shape(rep_local, m, "rep_local");
+  check_shape(rep_down, m, "rep_down");
+  check_nonnegative(rep_up, "rep_up");
+  check_nonnegative(rep_local, "rep_local");
+  check_nonnegative(rep_down, "rep_down");
+}
+
+QbdSolution solve_qbd(const QbdProcess& process, const QbdOptions& options) {
+  process.validate();
+  const std::size_t m = process.num_phases;
+  const std::size_t big_l = process.first_repeating;  // L
+
+  // Repeating generator blocks.
+  const Matrix& a0 = process.rep_up;
+  const Matrix a1 = with_diagonal(process.rep_local, process.rep_up,
+                                  process.rep_down);
+  const Matrix& a2 = process.rep_down;
+
+  // --- Iterate R from R <- -(A0 + R^2 A2) A1^{-1} (Neuts' fixed point). ---
+  // Right-multiplication by A1^{-1} means solving X A1 = M, i.e.
+  // A1^T X^T = M^T, so we factor A1^T once.
+  const LuFactorization a1t_lu{a1.transpose()};
+  auto right_div_a1 = [&](Matrix m_) {
+    return a1t_lu.solve(m_.transpose()).transpose();
+  };
+  const Matrix neg_a0_a1inv = [&] {
+    Matrix rhs = a0;
+    rhs *= -1.0;
+    return right_div_a1(std::move(rhs));
+  }();
+  Matrix r(m, m, 0.0);
+  int iterations = 0;
+  for (; iterations < options.max_r_iterations; ++iterations) {
+    // R_next = -(A0 + R^2 A2) A1^{-1} = neg_a0_a1inv + R^2 (-A2) A1^{-1}.
+    Matrix r2a2 = matmul(matmul(r, r), a2);
+    r2a2 *= -1.0;
+    Matrix r_next = neg_a0_a1inv + right_div_a1(std::move(r2a2));
+    const double delta = max_abs_diff(r_next, r);
+    r = std::move(r_next);
+    if (delta < options.r_tolerance) break;
+  }
+  // Residual of the quadratic equation as a convergence certificate.
+  const Matrix residual_mat =
+      a0 + matmul(r, a1) + matmul(matmul(r, r), a2);
+
+  QbdSolution sol;
+  sol.num_phases = m;
+  sol.first_repeating = big_l;
+  sol.r_iterations = iterations;
+  sol.r_residual = max_abs(residual_mat);
+  sol.spectral_radius = spectral_radius(r);
+  ESCHED_CHECK(sol.spectral_radius < 1.0 - 1e-9,
+               "QBD is not positive recurrent (sp(R) >= 1); check stability");
+
+  // --- Boundary system: unknowns pi_0..pi_L stacked into x (row vector).
+  // Balance at levels 0..L with pi_{L+1} = pi_L R, plus normalization
+  // sum_{l<L} pi_l 1 + pi_L (I-R)^{-1} 1 = 1 replacing one equation. ---
+  const std::size_t n = (big_l + 1) * m;
+  auto up_block = [&](std::size_t l) -> const Matrix& {
+    return l < big_l ? process.up[l] : process.rep_up;
+  };
+  auto local_block = [&](std::size_t l) -> const Matrix& {
+    return l < big_l ? process.local[l] : process.rep_local;
+  };
+  auto down_block = [&](std::size_t l) -> const Matrix& {
+    return l < big_l ? process.down[l] : process.rep_down;
+  };
+
+  // Columns of `system` are equations; rows index unknowns, so that
+  // x * system = rhs. Equation block for level l lives in columns [l*m,
+  // (l+1)*m).
+  Matrix system(n, n, 0.0);
+  auto add_block = [&](std::size_t unknown_level, std::size_t eq_level,
+                       const Matrix& block) {
+    for (std::size_t r_ = 0; r_ < m; ++r_) {
+      for (std::size_t c = 0; c < m; ++c) {
+        system(unknown_level * m + r_, eq_level * m + c) += block(r_, c);
+      }
+    }
+  };
+
+  for (std::size_t l = 0; l <= big_l; ++l) {
+    const Matrix a1_l =
+        with_diagonal(local_block(l), up_block(l), down_block(l));
+    if (l < big_l) {
+      add_block(l, l, a1_l);
+      if (l + 1 <= big_l) add_block(l + 1, l, down_block(l + 1));
+      if (l >= 1) add_block(l - 1, l, up_block(l - 1));
+    } else {
+      // Level L folds the tail in: pi_{L-1} U_{L-1} + pi_L (A1 + R A2) = 0.
+      Matrix folded = a1_l + matmul(r, a2);
+      add_block(l, l, folded);
+      if (l >= 1) add_block(l - 1, l, up_block(l - 1));
+    }
+  }
+
+  // (I - R)^{-1} 1, needed for the normalization and the tail moments.
+  const Matrix i_minus_r = Matrix::identity(m) - r;
+  const LuFactorization imr_lu{i_minus_r};
+  const Vector tail_weight = imr_lu.solve(Vector(m, 1.0));
+
+  // Replace equation column 0 by normalization (the generator's balance
+  // equations are linearly dependent, so dropping one loses nothing).
+  for (std::size_t l = 0; l <= big_l; ++l) {
+    for (std::size_t r_ = 0; r_ < m; ++r_) {
+      system(l * m + r_, 0) = (l < big_l) ? 1.0 : tail_weight[r_];
+    }
+  }
+  Vector rhs(n, 0.0);
+  rhs[0] = 1.0;
+
+  // Solve x * system = rhs  <=>  system^T x^T = rhs.
+  const Vector x = LuFactorization(system.transpose()).solve(rhs);
+
+  sol.boundary.resize(big_l + 1);
+  for (std::size_t l = 0; l <= big_l; ++l) {
+    sol.boundary[l].assign(x.begin() + static_cast<long>(l * m),
+                           x.begin() + static_cast<long>((l + 1) * m));
+    for (double v : sol.boundary[l]) {
+      ESCHED_ASSERT(v > -1e-9, "negative stationary probability");
+    }
+  }
+  sol.r = std::move(r);
+  return sol;
+}
+
+Vector QbdSolution::level_distribution(std::size_t level) const {
+  ESCHED_CHECK(!boundary.empty(), "unsolved QBD solution");
+  if (level <= first_repeating) return boundary[level];
+  Vector v = boundary[first_repeating];
+  for (std::size_t l = first_repeating; l < level; ++l) v = vecmat(v, r);
+  return v;
+}
+
+double QbdSolution::level_probability(std::size_t level) const {
+  return sum(level_distribution(level));
+}
+
+double QbdSolution::mean_level() const {
+  ESCHED_CHECK(!boundary.empty(), "unsolved QBD solution");
+  const std::size_t big_l = first_repeating;
+  double mean = 0.0;
+  for (std::size_t l = 0; l < big_l; ++l) {
+    mean += static_cast<double>(l) * sum(boundary[l]);
+  }
+  // Tail: sum_{n>=0} (L+n) pi_L R^n 1
+  //     = L pi_L (I-R)^{-1} 1 + pi_L R (I-R)^{-2} 1.
+  const std::size_t m = num_phases;
+  const Matrix i_minus_r = Matrix::identity(m) - r;
+  const LuFactorization imr_lu{i_minus_r};
+  const Vector w1 = imr_lu.solve(Vector(m, 1.0));   // (I-R)^{-1} 1
+  const Vector w2 = imr_lu.solve(w1);               // (I-R)^{-2} 1
+  const Vector& pi_l = boundary[big_l];
+  mean += static_cast<double>(big_l) * dot(pi_l, w1);
+  mean += dot(vecmat(pi_l, r), w2);
+  return mean;
+}
+
+Vector QbdSolution::phase_marginal() const {
+  ESCHED_CHECK(!boundary.empty(), "unsolved QBD solution");
+  const std::size_t m = num_phases;
+  Vector marginal(m, 0.0);
+  for (std::size_t l = 0; l < first_repeating; ++l) {
+    for (std::size_t s = 0; s < m; ++s) marginal[s] += boundary[l][s];
+  }
+  // Tail: pi_L (I - R)^{-1}, computed by solving x (I-R) = pi_L.
+  const Matrix i_minus_r = Matrix::identity(m) - r;
+  const Vector tail = LuFactorization(i_minus_r.transpose())
+                          .solve(boundary[first_repeating]);
+  for (std::size_t s = 0; s < m; ++s) marginal[s] += tail[s];
+  return marginal;
+}
+
+}  // namespace esched

@@ -1,0 +1,85 @@
+// Quasi-birth-death (QBD) processes and their matrix-analytic solution.
+//
+// A QBD is a CTMC whose states are (level, phase) pairs, with transitions
+// only between adjacent levels. The paper's busy-period transformation
+// (§5.2, Appendix D) turns the 2D-infinite EF and IF chains into exactly
+// this shape: the level is the queue length of the deprioritized class and
+// the phase tracks the prioritized class / busy-period stage. Following
+// §5.3 (refs [34, 43, 44]), the stationary distribution of the repeating
+// portion is matrix-geometric, pi_{L+n} = pi_L R^n, where R solves
+//   A0 + R A1 + R^2 A2 = 0.
+//
+// The solver supports level-dependent boundary blocks for levels
+// 0..first_repeating-1 (the EF chain needs k of them: inelastic service
+// rates min(i,k) mu_I differ below level k).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace esched {
+
+/// A QBD specification. All matrices hold *non-negative off-diagonal
+/// rates*; diagonals are derived by the solver from row-sum conservation.
+/// Levels 0..first_repeating-1 use the boundary blocks; levels >=
+/// first_repeating all use the repeating blocks.
+struct QbdProcess {
+  std::size_t num_phases = 0;
+  std::size_t first_repeating = 1;  // must be >= 1
+
+  /// up[l]: rates level l -> l+1, for l in [0, first_repeating).
+  std::vector<Matrix> up;
+  /// local[l]: within-level phase-change rates at level l (off-diagonal).
+  std::vector<Matrix> local;
+  /// down[l]: rates level l -> l-1, for l in [0, first_repeating);
+  /// down[0] must be all zeros (there is no level below 0).
+  std::vector<Matrix> down;
+
+  Matrix rep_up;     // A0: rates level l -> l+1 for l >= first_repeating
+  Matrix rep_local;  // off-diagonal part of A1
+  Matrix rep_down;   // A2: rates level l -> l-1 for l >= first_repeating
+
+  /// Validates shapes and sign constraints; throws esched::Error on issues.
+  void validate() const;
+};
+
+/// Solver tuning knobs.
+struct QbdOptions {
+  double r_tolerance = 1e-14;  // max-abs change in R between iterations
+  int max_r_iterations = 200000;
+};
+
+/// Stationary solution of a QBD.
+struct QbdSolution {
+  /// pi_0..pi_L where L = first_repeating; levels beyond L follow
+  /// pi_{L+n} = pi_L R^n.
+  std::vector<Vector> boundary;
+  Matrix r;
+
+  std::size_t num_phases = 0;
+  std::size_t first_repeating = 0;
+
+  int r_iterations = 0;
+  double r_residual = 0.0;       // max-abs of A0 + R A1 + R^2 A2
+  double spectral_radius = 0.0;  // sp(R); < 1 iff positive recurrent
+
+  /// Stationary probability vector of level l (any l >= 0).
+  Vector level_distribution(std::size_t level) const;
+
+  /// P(level == l).
+  double level_probability(std::size_t level) const;
+
+  /// E[level] — the stationary mean queue length of the level class.
+  double mean_level() const;
+
+  /// Marginal phase distribution aggregated over all levels.
+  Vector phase_marginal() const;
+};
+
+/// Solves the QBD: iterates R, then solves the finite boundary system with
+/// the normalization sum_l pi_l 1 = 1 (geometric tail folded in).
+QbdSolution solve_qbd(const QbdProcess& process, const QbdOptions& options = {});
+
+}  // namespace esched

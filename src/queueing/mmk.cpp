@@ -1,0 +1,40 @@
+#include "queueing/mmk.hpp"
+
+#include "common/error.hpp"
+
+namespace esched {
+
+MMk::MMk(double lambda_in, double mu_in, int k_in)
+    : lambda(lambda_in), mu(mu_in), k(k_in) {
+  ESCHED_CHECK(lambda >= 0.0, "arrival rate must be non-negative");
+  ESCHED_CHECK(mu > 0.0, "service rate must be positive");
+  ESCHED_CHECK(k >= 1, "need at least one server");
+}
+
+double MMk::erlang_b() const {
+  const double a = offered_load();
+  // B(0) = 1; B(n) = a B(n-1) / (n + a B(n-1)) — numerically stable.
+  double b = 1.0;
+  for (int n = 1; n <= k; ++n) {
+    b = a * b / (static_cast<double>(n) + a * b);
+  }
+  return b;
+}
+
+double MMk::erlang_c() const {
+  ESCHED_CHECK(stable(), "Erlang-C requires utilization < 1");
+  const double rho = utilization();
+  const double b = erlang_b();
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MMk::mean_wait() const {
+  ESCHED_CHECK(stable(), "M/M/k metrics require utilization < 1");
+  return erlang_c() / (static_cast<double>(k) * mu - lambda);
+}
+
+double MMk::mean_response_time() const { return mean_wait() + 1.0 / mu; }
+
+double MMk::mean_jobs() const { return lambda * mean_response_time(); }
+
+}  // namespace esched

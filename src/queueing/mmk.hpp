@@ -1,0 +1,39 @@
+// Closed-form M/M/k results (Erlang-B / Erlang-C).
+//
+// Under Inelastic-First the inelastic class is exactly an M/M/k with
+// arrival rate lambda_I and per-server rate mu_I (paper Appendix D).
+#pragma once
+
+namespace esched {
+
+/// M/M/k queue with Poisson(lambda) arrivals, k servers of rate mu each.
+struct MMk {
+  double lambda = 0.0;
+  double mu = 0.0;
+  int k = 1;
+
+  MMk(double lambda_in, double mu_in, int k_in);
+
+  double offered_load() const { return lambda / mu; }
+  double utilization() const { return lambda / (mu * static_cast<double>(k)); }
+  bool stable() const { return utilization() < 1.0; }
+
+  /// Erlang-B blocking probability of an M/M/k/k loss system with the same
+  /// offered load (computed by the stable recurrence; also the building
+  /// block for Erlang-C).
+  double erlang_b() const;
+
+  /// Erlang-C probability that an arrival must queue, P(wait > 0).
+  double erlang_c() const;
+
+  /// Mean waiting time E[W] = C / (k mu - lambda).
+  double mean_wait() const;
+
+  /// Mean response time E[T] = E[W] + 1/mu.
+  double mean_response_time() const;
+
+  /// Mean number in system E[N] = lambda E[T].
+  double mean_jobs() const;
+};
+
+}  // namespace esched

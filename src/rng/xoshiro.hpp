@@ -1,0 +1,54 @@
+// Pseudo-random number engines.
+//
+// The simulator needs (a) reproducible streams so coupled sample-path
+// experiments (Theorem 3) can replay the exact same arrival sequence under
+// different policies, and (b) cheap independent streams for parallel
+// replications. xoshiro256++ provides both: a tiny, fast generator with a
+// jump() function that advances 2^128 steps, giving non-overlapping
+// subsequences. SplitMix64 is used to seed it, following the authors'
+// recommendation (Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace esched {
+
+/// SplitMix64: a tiny 64-bit generator used to expand a single seed into
+/// the 256-bit xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Advances the state by 2^128 steps; calling jump() n times on copies of
+  /// one engine yields n non-overlapping streams.
+  void jump();
+
+  /// Returns a copy advanced by `stream_index` jumps — convenience for
+  /// carving independent streams out of one master seed.
+  Xoshiro256 stream(unsigned stream_index) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace esched

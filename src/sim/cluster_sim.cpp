@@ -1,0 +1,225 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/time_average.hpp"
+
+namespace esched {
+
+namespace {
+
+struct Job {
+  double arrival_time;
+  double remaining;
+};
+
+/// Assigns per-job service rates for one class in FCFS order and returns
+/// the index (within the queue) and time-to-finish of the earliest
+/// completion, if any job is being served.
+struct ClassService {
+  std::vector<double> rates;  // parallel to the queue prefix being served
+  std::optional<std::size_t> soonest_index;
+  double soonest_dt = kInf;
+  double total_rate = 0.0;
+};
+
+ClassService serve_inelastic(const std::deque<Job>& queue, double servers) {
+  ClassService s;
+  // One server per job down the FCFS queue; a fractional remainder goes to
+  // the next job in line.
+  double left = servers;
+  for (std::size_t idx = 0; idx < queue.size() && left > 1e-12; ++idx) {
+    const double rate = std::min(1.0, left);
+    left -= rate;
+    s.rates.push_back(rate);
+    s.total_rate += rate;
+    const double dt = queue[idx].remaining / rate;
+    if (dt < s.soonest_dt) {
+      s.soonest_dt = dt;
+      s.soonest_index = idx;
+    }
+  }
+  return s;
+}
+
+ClassService serve_elastic(const std::deque<Job>& queue, double servers,
+                           double per_job_cap) {
+  ClassService s;
+  // The head-of-line elastic job absorbs the class allocation up to its
+  // parallelism cap; the remainder flows down the FCFS queue (with the
+  // paper's fully elastic jobs, cap = k, the head takes everything).
+  double left = servers;
+  for (std::size_t idx = 0; idx < queue.size() && left > 1e-12; ++idx) {
+    const double rate = std::min(per_job_cap, left);
+    left -= rate;
+    s.rates.push_back(rate);
+    s.total_rate += rate;
+    const double dt = queue[idx].remaining / rate;
+    if (dt < s.soonest_dt) {
+      s.soonest_dt = dt;
+      s.soonest_index = idx;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+SimResult simulate(const SystemParams& params, const AllocationPolicy& policy,
+                   const SimOptions& options) {
+  params.validate();
+  ESCHED_CHECK(params.lambda_i + params.lambda_e > 0.0,
+               "simulation requires some arrivals");
+  ESCHED_CHECK(options.num_jobs > 0, "num_jobs must be positive");
+
+  Xoshiro256 master(options.seed);
+  Xoshiro256 rng_arrival_i = master.stream(1);
+  Xoshiro256 rng_arrival_e = master.stream(2);
+  Xoshiro256 rng_size_i = master.stream(3);
+  Xoshiro256 rng_size_e = master.stream(4);
+
+  const auto sample_size_i = [&]() {
+    return options.size_dist_i != nullptr
+               ? options.size_dist_i->sample(rng_size_i)
+               : exponential(rng_size_i, params.mu_i);
+  };
+  const auto sample_size_e = [&]() {
+    return options.size_dist_e != nullptr
+               ? options.size_dist_e->sample(rng_size_e)
+               : exponential(rng_size_e, params.mu_e);
+  };
+
+  std::deque<Job> queue_i;
+  std::deque<Job> queue_e;
+  double now = 0.0;
+  double next_arrival_i =
+      params.lambda_i > 0.0 ? exponential(rng_arrival_i, params.lambda_i)
+                            : kInf;
+  double next_arrival_e =
+      params.lambda_e > 0.0 ? exponential(rng_arrival_e, params.lambda_e)
+                            : kInf;
+
+  TimeAverage avg_ni, avg_nj, avg_util;
+  avg_ni.start(0.0, 0.0);
+  avg_nj.start(0.0, 0.0);
+  avg_util.start(0.0, 0.0);
+  double work = 0.0;          // current total remaining work
+  double work_area = 0.0;     // integral of W(t) dt after warmup
+  double work_area_t0 = 0.0;  // start of the measured interval
+
+  std::vector<double> rt_all, rt_i, rt_e;
+  rt_all.reserve(options.num_jobs);
+  std::uint64_t completed = 0;  // total completions (incl. warmup)
+  bool warm = options.warmup_jobs == 0;
+
+  const std::uint64_t target =
+      options.warmup_jobs + options.num_jobs;
+  const std::uint64_t max_events = target * 64 + 1024;
+  std::uint64_t events = 0;
+
+  while (completed < target) {
+    ESCHED_CHECK(++events <= max_events,
+                 "event budget exceeded; system is likely unstable");
+    const State state{static_cast<long>(queue_i.size()),
+                      static_cast<long>(queue_e.size())};
+    if (options.check_invariants) policy.check_feasible(state, params);
+    const Allocation alloc = policy.allocate(state, params);
+
+    const ClassService svc_i = serve_inelastic(queue_i, alloc.inelastic);
+    const ClassService svc_e =
+        serve_elastic(queue_e, alloc.elastic, params.elastic_cap_or_k());
+    const double total_rate = svc_i.total_rate + svc_e.total_rate;
+
+    const double next_arrival = std::min(next_arrival_i, next_arrival_e);
+    const double dt_completion = std::min(svc_i.soonest_dt, svc_e.soonest_dt);
+    const double dt_arrival = next_arrival - now;
+    ESCHED_ASSERT(dt_arrival >= 0.0 || dt_completion < kInf,
+                  "simulator has nothing to do");
+    const bool completion_next = dt_completion <= dt_arrival;
+    const double dt = completion_next ? dt_completion : dt_arrival;
+
+    // Advance the clock, depleting served jobs linearly.
+    const double t_next = now + dt;
+    avg_ni.advance(t_next);
+    avg_nj.advance(t_next);
+    avg_util.update(now, total_rate / static_cast<double>(params.k));
+    avg_util.advance(t_next);
+    if (warm) work_area += dt * (work - 0.5 * total_rate * dt);
+    work = std::max(0.0, work - total_rate * dt);
+    for (std::size_t idx = 0; idx < svc_i.rates.size(); ++idx) {
+      queue_i[idx].remaining =
+          std::max(0.0, queue_i[idx].remaining - svc_i.rates[idx] * dt);
+    }
+    for (std::size_t idx = 0; idx < svc_e.rates.size(); ++idx) {
+      queue_e[idx].remaining =
+          std::max(0.0, queue_e[idx].remaining - svc_e.rates[idx] * dt);
+    }
+    now = t_next;
+
+    if (completion_next) {
+      const bool inelastic_completes = svc_i.soonest_dt <= svc_e.soonest_dt;
+      std::deque<Job>& queue = inelastic_completes ? queue_i : queue_e;
+      const std::size_t idx = inelastic_completes ? *svc_i.soonest_index
+                                                  : *svc_e.soonest_index;
+      const double response = now - queue[idx].arrival_time;
+      queue.erase(queue.begin() + static_cast<long>(idx));
+      ++completed;
+      if (warm) {
+        rt_all.push_back(response);
+        (inelastic_completes ? rt_i : rt_e).push_back(response);
+        Histogram* hist = inelastic_completes ? options.response_hist_i
+                                              : options.response_hist_e;
+        if (hist != nullptr) hist->add(response);
+      } else if (completed >= options.warmup_jobs) {
+        // End of warmup: restart the time averages here.
+        warm = true;
+        avg_ni.reset_at(now);
+        avg_nj.reset_at(now);
+        avg_util.reset_at(now);
+        work_area = 0.0;
+        work_area_t0 = now;
+      }
+    } else {
+      const bool inelastic_arrives = next_arrival_i <= next_arrival_e;
+      const double size = inelastic_arrives ? sample_size_i() : sample_size_e();
+      (inelastic_arrives ? queue_i : queue_e).push_back({now, size});
+      work += size;
+      if (inelastic_arrives) {
+        next_arrival_i = now + exponential(rng_arrival_i, params.lambda_i);
+      } else {
+        next_arrival_e = now + exponential(rng_arrival_e, params.lambda_e);
+      }
+    }
+    avg_ni.update(now, static_cast<double>(queue_i.size()));
+    avg_nj.update(now, static_cast<double>(queue_e.size()));
+  }
+
+  SimResult result;
+  result.sim_time = now;
+  result.mean_jobs_i = avg_ni.average();
+  result.mean_jobs_e = avg_nj.average();
+  result.utilization = avg_util.average();
+  result.mean_work = work_area / (now - work_area_t0);
+  result.mean_response_time =
+      batch_means_ci(rt_all, options.batches, options.confidence);
+  result.inelastic.completed = rt_i.size();
+  result.elastic.completed = rt_e.size();
+  if (rt_i.size() >= static_cast<std::size_t>(2 * options.batches)) {
+    result.inelastic.response_time =
+        batch_means_ci(rt_i, options.batches, options.confidence);
+  }
+  if (rt_e.size() >= static_cast<std::size_t>(2 * options.batches)) {
+    result.elastic.response_time =
+        batch_means_ci(rt_e, options.batches, options.confidence);
+  }
+  return result;
+}
+
+}  // namespace esched

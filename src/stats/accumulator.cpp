@@ -1,0 +1,80 @@
+#include "stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const {
+  ESCHED_CHECK(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  ESCHED_CHECK(count_ >= 2, "variance needs at least two observations");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  ESCHED_CHECK(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  ESCHED_CHECK(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void MomentAccumulator::add(double x) {
+  ++count_;
+  sum1_ += x;
+  sum2_ += x * x;
+  sum3_ += x * x * x;
+}
+
+double MomentAccumulator::raw_moment(int n) const {
+  ESCHED_CHECK(count_ > 0, "raw moment of empty accumulator");
+  ESCHED_CHECK(n >= 1 && n <= 3, "raw_moment supports n in {1,2,3}");
+  const double denom = static_cast<double>(count_);
+  switch (n) {
+    case 1: return sum1_ / denom;
+    case 2: return sum2_ / denom;
+    default: return sum3_ / denom;
+  }
+}
+
+}  // namespace esched

@@ -1,0 +1,52 @@
+// Streaming moment accumulators.
+#pragma once
+
+#include <cstdint>
+
+namespace esched {
+
+/// Numerically stable (Welford) accumulator for mean/variance/min/max of a
+/// stream of observations. Supports merging partial accumulators, which the
+/// batch-means machinery uses.
+class Accumulator {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (Chan et al. pairwise update).
+  void merge(const Accumulator& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates raw moments E[X], E[X^2], E[X^3] of a stream — used to
+/// validate busy-period moment formulas and phase-type fits by simulation.
+class MomentAccumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  /// n-th raw moment estimate, n in {1, 2, 3}.
+  double raw_moment(int n) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum1_ = 0.0;
+  double sum2_ = 0.0;
+  double sum3_ = 0.0;
+};
+
+}  // namespace esched

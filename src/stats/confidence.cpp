@@ -1,0 +1,85 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/accumulator.hpp"
+
+namespace esched {
+
+namespace {
+// Two-sided critical values t_{df, 1-alpha/2} for alpha = 10%, 5%, 1%.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                             1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                             1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                             1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                             1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                             2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                             2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                             2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                             2.045,  2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                             3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                             2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                             2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                             2.756,  2.750};
+}  // namespace
+
+double t_critical(int df, double confidence) {
+  ESCHED_CHECK(df >= 1, "degrees of freedom must be >= 1");
+  const double* table = nullptr;
+  double z = 0.0;
+  if (confidence == 0.90) {
+    table = kT90;
+    z = 1.645;
+  } else if (confidence == 0.95) {
+    table = kT95;
+    z = 1.960;
+  } else if (confidence == 0.99) {
+    table = kT99;
+    z = 2.576;
+  } else {
+    ESCHED_CHECK(false, "confidence must be one of 0.90, 0.95, 0.99");
+  }
+  if (df <= 30) return table[df - 1];
+  return z;
+}
+
+ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
+                                  int num_batches, double confidence) {
+  ESCHED_CHECK(num_batches >= 2, "need at least two batches");
+  ESCHED_CHECK(observations.size() >= static_cast<std::size_t>(2 * num_batches),
+               "need at least two observations per batch");
+  const std::size_t n = observations.size();
+  const std::size_t batch_size = n / static_cast<std::size_t>(num_batches);
+  std::vector<double> batch_means;
+  batch_means.reserve(static_cast<std::size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    Accumulator acc;
+    const std::size_t begin = static_cast<std::size_t>(b) * batch_size;
+    // The last batch absorbs the remainder.
+    const std::size_t end =
+        (b == num_batches - 1) ? n : begin + batch_size;
+    for (std::size_t i = begin; i < end; ++i) acc.add(observations[i]);
+    batch_means.push_back(acc.mean());
+  }
+  return replication_ci(batch_means, confidence);
+}
+
+ConfidenceInterval replication_ci(const std::vector<double>& replication_means,
+                                  double confidence) {
+  ESCHED_CHECK(replication_means.size() >= 2,
+               "need at least two replications");
+  Accumulator acc;
+  for (double m : replication_means) acc.add(m);
+  const int df = static_cast<int>(replication_means.size()) - 1;
+  const double t = t_critical(df, confidence);
+  ConfidenceInterval ci;
+  ci.mean = acc.mean();
+  ci.half_width =
+      t * acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
+  return ci;
+}
+
+}  // namespace esched

@@ -1,0 +1,39 @@
+// Confidence intervals for simulation output (batch means).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace esched {
+
+/// A symmetric confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  /// True when `value` falls inside the interval.
+  bool contains(double value) const {
+    return value >= lo() && value <= hi();
+  }
+};
+
+/// Two-sided Student-t critical value at the given confidence level
+/// (0.90, 0.95, or 0.99) with `df` degrees of freedom. Uses a small exact
+/// table for df <= 30 and the normal approximation beyond.
+double t_critical(int df, double confidence = 0.95);
+
+/// Batch-means CI: splits `observations` into `num_batches` contiguous
+/// batches, treats batch means as i.i.d., and returns a Student-t interval.
+/// This is the standard way to get CIs from a single correlated simulation
+/// run (response times of consecutive jobs are correlated).
+ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
+                                  int num_batches = 20,
+                                  double confidence = 0.95);
+
+/// CI from i.i.d. replications (one observation per replication).
+ConfidenceInterval replication_ci(const std::vector<double>& replication_means,
+                                  double confidence = 0.95);
+
+}  // namespace esched

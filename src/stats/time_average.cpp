@@ -1,0 +1,38 @@
+#include "stats/time_average.hpp"
+
+#include "common/error.hpp"
+
+namespace esched {
+
+void TimeAverage::start(double t0, double v0) {
+  started_ = true;
+  start_t_ = last_t_ = t0;
+  value_ = v0;
+  area_ = 0.0;
+}
+
+void TimeAverage::update(double t, double value) {
+  ESCHED_CHECK(started_, "TimeAverage::start must be called first");
+  ESCHED_CHECK(t >= last_t_, "time must be non-decreasing");
+  area_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = value;
+}
+
+void TimeAverage::advance(double t) { update(t, value_); }
+
+double TimeAverage::average() const {
+  ESCHED_CHECK(started_, "TimeAverage::start must be called first");
+  const double span = last_t_ - start_t_;
+  ESCHED_CHECK(span > 0.0, "time average over empty interval");
+  return area_ / span;
+}
+
+void TimeAverage::reset_at(double t) {
+  ESCHED_CHECK(started_, "TimeAverage::start must be called first");
+  advance(t);
+  start_t_ = t;
+  area_ = 0.0;
+}
+
+}  // namespace esched

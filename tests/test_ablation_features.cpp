@@ -1,0 +1,106 @@
+// Tests for the ablation knob (busy-period fit order) and the simulator's
+// response-time histogram collection.
+#include <gtest/gtest.h>
+
+#include "common/numeric.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "queueing/mm1.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace esched {
+namespace {
+
+TEST(BusyFitOrder, OneMomentIsExponentialFit) {
+  const Moments3 m = MM1(0.8, 1.0).busy_period_moments();
+  const Coxian2Params fit = fit_busy_period(m, BusyFitOrder::kOneMoment);
+  EXPECT_NEAR(fit.nu1, 1.0 / m.m1, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.p, 0.0);
+}
+
+TEST(BusyFitOrder, TwoMomentMatchesFirstTwo) {
+  const Moments3 m = MM1(0.8, 1.0).busy_period_moments();
+  const PhaseType fitted =
+      fit_busy_period(m, BusyFitOrder::kTwoMoment).to_phase_type();
+  EXPECT_NEAR(fitted.raw_moment(1) / m.m1, 1.0, 1e-8);
+  EXPECT_NEAR(fitted.raw_moment(2) / m.m2, 1.0, 1e-8);
+  // Third moment deliberately NOT matched (it is the minimal feasible).
+  EXPECT_LT(fitted.raw_moment(3), m.m3);
+}
+
+TEST(BusyFitOrder, ThreeMomentMatchesAll) {
+  const Moments3 m = MM1(0.8, 1.0).busy_period_moments();
+  const PhaseType fitted =
+      fit_busy_period(m, BusyFitOrder::kThreeMoment).to_phase_type();
+  EXPECT_NEAR(fitted.raw_moment(3) / m.m3, 1.0, 1e-6);
+}
+
+TEST(BusyFitOrder, MoreMomentsMeanLowerAnalysisError) {
+  // The ablation claim as an invariant, on a high-load EF point where the
+  // busy-period shape matters most.
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.9);
+  ExactCtmcOptions opt;
+  opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
+  const double exact =
+      solve_exact_ctmc(p, ElasticFirst{}, opt).mean_response_time;
+  const double e1 = relative_error(
+      analyze_elastic_first(p, BusyFitOrder::kOneMoment).mean_response_time,
+      exact);
+  const double e2 = relative_error(
+      analyze_elastic_first(p, BusyFitOrder::kTwoMoment).mean_response_time,
+      exact);
+  const double e3 = relative_error(
+      analyze_elastic_first(p, BusyFitOrder::kThreeMoment)
+          .mean_response_time,
+      exact);
+  EXPECT_LT(e3, e2);
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e3, 0.005);
+}
+
+TEST(SimHistograms, CollectPostWarmupResponseTimes) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.6);
+  Histogram hist_i(0.0, 100.0, 5000);
+  Histogram hist_e(0.0, 100.0, 5000);
+  SimOptions opt;
+  opt.num_jobs = 60000;
+  opt.warmup_jobs = 6000;
+  opt.seed = 5;
+  opt.response_hist_i = &hist_i;
+  opt.response_hist_e = &hist_e;
+  const SimResult r = simulate(p, InelasticFirst{}, opt);
+  EXPECT_EQ(hist_i.total(), r.inelastic.completed);
+  EXPECT_EQ(hist_e.total(), r.elastic.completed);
+  EXPECT_EQ(hist_i.overflow(), 0u);
+  // Quantiles are ordered and bracket the mean sensibly.
+  const double p50 = hist_i.quantile(0.5);
+  const double p99 = hist_i.quantile(0.99);
+  EXPECT_LT(p50, p99);
+  EXPECT_LT(p50, r.inelastic.response_time.mean);   // right-skewed
+  EXPECT_GT(p99, r.inelastic.response_time.mean);
+}
+
+TEST(SimHistograms, IfProtectsInelasticTail) {
+  // The operational claim of the tail_latency experiment, as a test: when
+  // inelastic jobs are small (mu_I > mu_E), their P99 under IF is far
+  // below their P99 under EF.
+  const SystemParams p = SystemParams::from_load(4, 3.25, 1.0, 0.8);
+  auto tail = [&](const AllocationPolicy& policy) {
+    Histogram hist(0.0, 200.0, 20000);
+    SimOptions opt;
+    opt.num_jobs = 80000;
+    opt.warmup_jobs = 8000;
+    opt.seed = 6;
+    opt.response_hist_i = &hist;
+    simulate(p, policy, opt);
+    return hist.quantile(0.99);
+  };
+  const double p99_if = tail(InelasticFirst{});
+  const double p99_ef = tail(ElasticFirst{});
+  EXPECT_LT(p99_if * 3.0, p99_ef);
+}
+
+}  // namespace
+}  // namespace esched

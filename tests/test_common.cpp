@@ -1,0 +1,109 @@
+// Unit tests for common utilities: error macros, numeric helpers, the
+// table printer, and the CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "common/table.hpp"
+
+namespace esched {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    ESCHED_CHECK(false, "something went wrong");
+    FAIL() << "expected esched::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("something went wrong"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsWithInvariantKind) {
+  try {
+    ESCHED_ASSERT(1 == 2, "broken invariant");
+    FAIL() << "expected esched::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Error, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(ESCHED_CHECK(true, "fine"));
+  EXPECT_NO_THROW(ESCHED_ASSERT(true, "fine"));
+}
+
+TEST(Numeric, RelativeError) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.9, 1.0), 0.1, 1e-12);
+  // Near-zero reference falls back to absolute error.
+  EXPECT_NEAR(relative_error(1e-3, 0.0), 1e-3, 1e-15);
+}
+
+TEST(Numeric, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(Numeric, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsBadArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456789, 3), "1.23");
+  EXPECT_EQ(format_double(100.0), "100");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "esched_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+    EXPECT_EQ(csv.num_rows(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsBadArity) {
+  const std::string path = testing::TempDir() + "esched_test2.csv";
+  CsvWriter csv(path, {"x", "y"});
+  EXPECT_THROW(csv.add_row({"1"}), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace esched

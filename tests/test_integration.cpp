@@ -1,0 +1,145 @@
+// Integration tests: the cross-validation triangle. For each parameter
+// point and policy, three independent implementations must agree:
+//   (1) busy-period-transformation + QBD analysis   (core/analysis),
+//   (2) exact truncated 2-D CTMC solve              (core/exact_ctmc),
+//   (3) stochastic simulation                       (sim/).
+// Agreement of all three is the strongest correctness signal the paper
+// itself offers ("Our analytical results match simulation", §5).
+#include <gtest/gtest.h>
+
+#include "common/numeric.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/coupled.hpp"
+#include "sim/ctmc_sim.hpp"
+#include "sim/trace.hpp"
+
+namespace esched {
+namespace {
+
+struct TriangleCase {
+  int k;
+  double mu_i;
+  double mu_e;
+  double rho;
+};
+
+class Triangle : public testing::TestWithParam<TriangleCase> {
+ protected:
+  SystemParams params() const {
+    const TriangleCase& c = GetParam();
+    return SystemParams::from_load(c.k, c.mu_i, c.mu_e, c.rho);
+  }
+
+  ExactCtmcOptions truncation(const SystemParams& p) const {
+    ExactCtmcOptions opt;
+    const long level = suggested_truncation(p.rho(), 1e-9);
+    opt.imax = level;
+    opt.jmax = level;
+    return opt;
+  }
+
+  SimOptions sim_options() const {
+    SimOptions opt;
+    opt.num_jobs = 150000;
+    opt.warmup_jobs = 15000;
+    opt.seed = 7777;
+    return opt;
+  }
+};
+
+TEST_P(Triangle, IfAnalysisExactAndSimulationAgree) {
+  const SystemParams p = params();
+  const double analytic = analyze_inelastic_first(p).mean_response_time;
+  const double exact =
+      solve_exact_ctmc(p, InelasticFirst{}, truncation(p)).mean_response_time;
+  const SimResult sim = simulate(p, InelasticFirst{}, sim_options());
+
+  EXPECT_LT(relative_error(analytic, exact), 0.012) << "analysis vs exact";
+  EXPECT_LT(relative_error(sim.mean_response_time.mean, exact), 0.05)
+      << "simulation vs exact";
+}
+
+TEST_P(Triangle, EfAnalysisExactAndSimulationAgree) {
+  const SystemParams p = params();
+  const double analytic = analyze_elastic_first(p).mean_response_time;
+  const double exact =
+      solve_exact_ctmc(p, ElasticFirst{}, truncation(p)).mean_response_time;
+  const SimResult sim = simulate(p, ElasticFirst{}, sim_options());
+
+  EXPECT_LT(relative_error(analytic, exact), 0.012) << "analysis vs exact";
+  EXPECT_LT(relative_error(sim.mean_response_time.mean, exact), 0.05)
+      << "simulation vs exact";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, Triangle,
+    testing::Values(TriangleCase{4, 1.0, 1.0, 0.5},
+                    TriangleCase{4, 1.0, 1.0, 0.8},
+                    TriangleCase{4, 0.25, 1.0, 0.7},
+                    TriangleCase{4, 3.25, 1.0, 0.7},
+                    TriangleCase{2, 1.0, 2.0, 0.6},
+                    TriangleCase{8, 2.0, 1.0, 0.7}));
+
+// End-to-end Figure 4 spot checks: the sign of E[T^EF] - E[T^IF] from the
+// analysis must match the sign from the exact solver AND from simulation.
+TEST(Fig4SpotCheck, WinnerAgreesAcrossMethods) {
+  const struct {
+    double mu_i, mu_e, rho;
+  } cases[] = {{2.0, 1.0, 0.9},   // IF region
+               {0.25, 1.0, 0.9},  // EF region
+               {1.5, 1.0, 0.5}};  // IF region, low load
+  for (const auto& c : cases) {
+    const SystemParams p = SystemParams::from_load(4, c.mu_i, c.mu_e, c.rho);
+    const double d_analysis = analyze_elastic_first(p).mean_response_time -
+                              analyze_inelastic_first(p).mean_response_time;
+    ExactCtmcOptions opt;
+    opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
+    const double d_exact =
+        solve_exact_ctmc(p, ElasticFirst{}, opt).mean_response_time -
+        solve_exact_ctmc(p, InelasticFirst{}, opt).mean_response_time;
+    EXPECT_GT(d_analysis * d_exact, 0.0)
+        << "winner disagreement at mu_i=" << c.mu_i << " rho=" << c.rho;
+  }
+}
+
+// The work-decomposition identity behind Lemma 4: E[N] computed from job
+// counts must equal mu * E[W] per class in simulation (exponential sizes).
+TEST(Lemma4, WorkAndCountsRelateThroughMeanSize) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.7);
+  SimOptions opt;
+  opt.num_jobs = 200000;
+  opt.warmup_jobs = 20000;
+  opt.seed = 424242;
+  const SimResult r = simulate(p, InelasticFirst{}, opt);
+  // E[W] = E[W_I] + E[W_E] = E[N_I]/mu_I + E[N_E]/mu_E.
+  const double expected_work =
+      r.mean_jobs_i / p.mu_i + r.mean_jobs_e / p.mu_e;
+  EXPECT_LT(relative_error(r.mean_work, expected_work), 0.05);
+}
+
+// Theorem 3 corollary at steady state: IF's time-average work is at most
+// any class-P policy's on the same trace.
+TEST(Theorem3Corollary, TimeAverageWorkOrdering) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.85);
+  const Trace trace = generate_trace(p, 2000.0, 31);
+  const WorkPath if_path = run_on_trace(trace, p, InelasticFirst{});
+  const WorkPath ef_path = run_on_trace(trace, p, ElasticFirst{});
+  // Integrate both paths over a common window via sampling.
+  double if_area = 0.0;
+  double ef_area = 0.0;
+  const double t_end = trace.horizon;
+  const int samples = 20000;
+  for (int s = 0; s < samples; ++s) {
+    const double t = t_end * (s + 0.5) / samples;
+    if_area += if_path.total_work_at(t);
+    ef_area += ef_path.total_work_at(t);
+  }
+  EXPECT_LE(if_area, ef_area * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,156 @@
+// Unit tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace esched {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, IdentityAndArithmetic) {
+  Matrix i2 = Matrix::identity(2);
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Matrix sum = a + i2;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - i2;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 0.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  EXPECT_THROW(a += Matrix(3, 3), Error);
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  }
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  const Matrix p = matmul(a, b);
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(Matrix, VectorProducts) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Vector xm = vecmat({1.0, 1.0}, a);  // [4, 6]
+  EXPECT_DOUBLE_EQ(xm[0], 4.0);
+  EXPECT_DOUBLE_EQ(xm[1], 6.0);
+  const Vector mx = matvec(a, {1.0, 1.0});  // [3, 7]
+  EXPECT_DOUBLE_EQ(mx[0], 3.0);
+  EXPECT_DOUBLE_EQ(mx[1], 7.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(sum(Vector{1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(Matrix, TransposeAndNorms) {
+  Matrix a(2, 3);
+  a(0, 2) = -5.0;
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), -5.0);
+  EXPECT_DOUBLE_EQ(max_abs(a), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, Matrix(2, 3)), 5.0);
+}
+
+TEST(Matrix, NormalizeProbability) {
+  Vector v = {1.0, 3.0};
+  normalize_probability(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  Vector zero = {0.0, 0.0};
+  EXPECT_THROW(normalize_probability(zero), Error);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;  a(0, 1) = 1;  a(0, 2) = 1;
+  a(1, 0) = 1;  a(1, 1) = 3;  a(1, 2) = 2;
+  a(2, 0) = 1;  a(2, 1) = 0;  a(2, 2) = 0;
+  // Solution of A x = [4, 5, 6]: x = [6, ...]. Compute expected via direct
+  // elimination: x0 = 6 from row 2; 2*6 + x1 + x2 = 4 => x1 + x2 = -8;
+  // 6 + 3 x1 + 2 x2 = 5 => 3 x1 + 2 x2 = -1 => x1 = 15, x2 = -23.
+  const Vector x = lu_solve(a, {4.0, 5.0, 6.0});
+  EXPECT_NEAR(x[0], 6.0, 1e-12);
+  EXPECT_NEAR(x[1], 15.0, 1e-12);
+  EXPECT_NEAR(x[2], -23.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  Matrix a(4, 4);
+  // A well-conditioned nonsymmetric matrix.
+  const double vals[4][4] = {{4, 1, 0, 2}, {1, 5, 1, 0}, {0, 1, 6, 1},
+                             {2, 0, 1, 7}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = vals[r][c];
+  }
+  const Matrix inv = lu_inverse(a);
+  const Matrix prod = matmul(a, inv);
+  EXPECT_LT(max_abs_diff(prod, Matrix::identity(4)), 1e-12);
+}
+
+TEST(Lu, SolveTransposedMatchesExplicitTranspose) {
+  Matrix a(3, 3);
+  const double vals[3][3] = {{3, 1, 0}, {1, 4, 2}, {0, 2, 5}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = vals[r][c] + (r == 0 && c == 2 ? 0.5 : 0.0);
+  }
+  const Vector b = {1.0, 2.0, 3.0};
+  const Vector via_transposed = LuFactorization(a).solve_transposed(b);
+  const Vector direct = lu_solve(a.transpose(), b);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(via_transposed[r], direct[r], 1e-12);
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const Vector x = lu_solve(a, {3.0, 4.0});  // swap: x = [4, 3]
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, Error);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuFactorization{Matrix(2, 3)}, Error);
+}
+
+}  // namespace
+}  // namespace esched

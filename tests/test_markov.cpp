@@ -1,0 +1,183 @@
+// Unit tests for the CTMC toolkit: stationary solvers cross-checked
+// against closed forms and each other, absorbing-chain rewards, and the
+// birth-death first-passage recursion validated against the M/M/1
+// busy-period closed forms it is meant to certify.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/birth_death.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/stationary.hpp"
+
+namespace esched {
+namespace {
+
+/// Truncated M/M/1 chain: states 0..n-1, birth lambda, death mu.
+SparseCtmc mm1_chain(std::size_t n, double lambda, double mu) {
+  SparseCtmc chain(n);
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    chain.add_rate(s, s + 1, lambda);
+    chain.add_rate(s + 1, s, mu);
+  }
+  chain.freeze();
+  return chain;
+}
+
+TEST(SparseCtmc, BasicAccounting) {
+  SparseCtmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(0, 1, 1.0);  // duplicates accumulate
+  chain.add_rate(1, 2, 4.0);
+  chain.add_rate(2, 0, 5.0);
+  chain.freeze();
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 5.0);
+  ASSERT_EQ(chain.transitions_from(0).size(), 1u);  // merged
+  EXPECT_DOUBLE_EQ(chain.transitions_from(0)[0].rate, 3.0);
+  const Matrix q = chain.dense_generator();
+  EXPECT_DOUBLE_EQ(q(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(q(0, 1), 3.0);
+}
+
+TEST(SparseCtmc, RejectsInvalidTransitions) {
+  SparseCtmc chain(2);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), Error);   // self loop
+  EXPECT_THROW(chain.add_rate(0, 5, 1.0), Error);   // out of range
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), Error);  // negative
+}
+
+TEST(Stationary, GthMatchesMM1GeometricDistribution) {
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  const std::size_t n = 60;
+  const Vector pi = gth_stationary(mm1_chain(n, lambda, mu));
+  const double rho = lambda / mu;
+  // Truncated geometric; truncation error is rho^60 ~ 5e-14.
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_NEAR(pi[s], (1.0 - rho) * std::pow(rho, static_cast<double>(s)),
+                1e-10);
+  }
+}
+
+TEST(Stationary, SorAgreesWithGth) {
+  const SparseCtmc chain = mm1_chain(40, 0.7, 1.0);
+  const Vector exact = gth_stationary(chain);
+  StationarySolveInfo info;
+  const Vector iterative = sor_stationary(chain, 1e-13, 100000, 1.0, &info);
+  EXPECT_TRUE(info.converged);
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    EXPECT_NEAR(iterative[s], exact[s], 1e-9);
+  }
+}
+
+TEST(Stationary, PowerIterationAgreesWithGth) {
+  const SparseCtmc chain = mm1_chain(30, 0.5, 1.0);
+  const Vector exact = gth_stationary(chain);
+  StationarySolveInfo info;
+  const Vector power = power_stationary(chain, 1e-13, 2000000, &info);
+  EXPECT_TRUE(info.converged);
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    EXPECT_NEAR(power[s], exact[s], 1e-8);
+  }
+}
+
+TEST(Stationary, ResidualOfExactSolutionIsTiny) {
+  const SparseCtmc chain = mm1_chain(25, 0.4, 1.0);
+  const Vector pi = gth_stationary(chain);
+  EXPECT_LT(stationary_residual(chain, pi), 1e-12);
+}
+
+TEST(Stationary, ThreeStateCycleKnownAnswer) {
+  // Cycle 0 -> 1 -> 2 -> 0 with rates 1, 2, 4: pi proportional to 1/rate.
+  SparseCtmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 0, 4.0);
+  chain.freeze();
+  const Vector pi = gth_stationary(chain);
+  EXPECT_NEAR(pi[0], 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(pi[2], 1.0 / 7.0, 1e-12);
+}
+
+TEST(Absorbing, PureDeathChainOccupancy) {
+  // 3 -> 2 -> 1 -> 0 at rate mu: expected time in each transient state is
+  // 1/mu; absorption time is 3/mu.
+  const double mu = 2.0;
+  SparseCtmc chain(4);
+  for (std::size_t s = 1; s < 4; ++s) chain.add_rate(s, s - 1, mu);
+  chain.freeze();
+  Vector initial(4, 0.0);
+  initial[3] = 1.0;
+  const Vector occ = expected_occupancy(chain, initial);
+  EXPECT_NEAR(occ[3], 0.5, 1e-12);
+  EXPECT_NEAR(occ[2], 0.5, 1e-12);
+  EXPECT_NEAR(occ[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(occ[0], 0.0);  // absorbing
+  EXPECT_NEAR(expected_time_to_absorption(chain, initial), 1.5, 1e-12);
+}
+
+TEST(Absorbing, AccumulatedRewardWeightsOccupancy) {
+  // Same chain; reward = state index (like N(t) in the Theorem 6 use).
+  const double mu = 1.0;
+  SparseCtmc chain(3);
+  chain.add_rate(2, 1, mu);
+  chain.add_rate(1, 0, mu);
+  chain.freeze();
+  Vector initial(3, 0.0);
+  initial[2] = 1.0;
+  const double reward =
+      expected_accumulated_reward(chain, initial, {0.0, 1.0, 2.0});
+  // 1/mu in state 2 (reward 2) + 1/mu in state 1 (reward 1) = 3.
+  EXPECT_NEAR(reward, 3.0, 1e-12);
+}
+
+TEST(Absorbing, RejectsMassOnAbsorbingStates) {
+  SparseCtmc chain(2);
+  chain.add_rate(1, 0, 1.0);
+  chain.freeze();
+  Vector bad(2, 0.0);
+  bad[0] = 1.0;
+  EXPECT_THROW(expected_occupancy(chain, bad), Error);
+}
+
+TEST(BirthDeath, ExponentialWhenNoBirths) {
+  // Single state with death rate mu and no birth: T ~ Exp(mu).
+  const Moments3 m = birth_death_descent_moments({0.0}, {3.0});
+  EXPECT_NEAR(m.m1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.m2, 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(m.m3, 6.0 / 27.0, 1e-12);
+  EXPECT_NEAR(m.scv(), 1.0, 1e-12);
+}
+
+TEST(BirthDeath, MatchesMM1BusyPeriodClosedForms) {
+  // M/M/1 busy period = descent 1 -> 0 with constant rates. Closed forms:
+  // m1 = 1/(mu-lam), m2 = 2 mu/(mu-lam)^3, m3 = 6 mu (mu+lam)/(mu-lam)^5.
+  for (double rho : {0.2, 0.5, 0.8}) {
+    const double mu = 1.3;
+    const double lam = rho * mu;
+    // Truncation deep enough that the error is far below the tolerance.
+    const std::size_t depth = 400;
+    const Moments3 got = birth_death_descent_moments(
+        std::vector<double>(depth, lam), std::vector<double>(depth, mu));
+    const double gap = mu - lam;
+    EXPECT_NEAR(got.m1, 1.0 / gap, 1e-9) << "rho=" << rho;
+    EXPECT_NEAR(got.m2 / (2.0 * mu / std::pow(gap, 3)), 1.0, 1e-7)
+        << "rho=" << rho;
+    EXPECT_NEAR(got.m3 / (6.0 * mu * (mu + lam) / std::pow(gap, 5)), 1.0,
+                1e-6)
+        << "rho=" << rho;
+  }
+}
+
+TEST(BirthDeath, RejectsBadInput) {
+  EXPECT_THROW(birth_death_descent_moments({}, {}), Error);
+  EXPECT_THROW(birth_death_descent_moments({1.0}, {0.0}), Error);
+  EXPECT_THROW(birth_death_descent_moments({-1.0}, {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,126 @@
+// Tests of the paper's optimality results (Section 4) using the exact
+// truncated-chain solver:
+//  - Theorem 1 / Theorem 5: when mu_I >= mu_E, IF minimizes E[T] over the
+//    (work-conserving) policy family we can enumerate.
+//  - Section 4.3: when mu_I < mu_E there are settings where EF beats IF.
+//  - Appendix B: idling never helps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/exact_ctmc.hpp"
+#include "core/policies.hpp"
+
+namespace esched {
+namespace {
+
+double exact_et(const SystemParams& p, const AllocationPolicy& policy,
+                long trunc = 0) {
+  ExactCtmcOptions opt;
+  const long level = trunc > 0 ? trunc : suggested_truncation(p.rho(), 1e-9);
+  opt.imax = level;
+  opt.jmax = level;
+  return solve_exact_ctmc(p, policy, opt).mean_response_time;
+}
+
+std::vector<PolicyPtr> policy_family(int k) {
+  std::vector<PolicyPtr> family = {make_inelastic_first(),
+                                   make_elastic_first(), make_fair_share()};
+  for (int cap = 1; cap < k; ++cap) family.push_back(make_inelastic_cap(cap));
+  return family;
+}
+
+struct OptimalityCase {
+  double mu_i;
+  double mu_e;
+  double rho;
+};
+
+class IfOptimalWhenInelasticSmaller
+    : public testing::TestWithParam<OptimalityCase> {};
+
+// Theorem 5: mu_I >= mu_E (inelastic jobs smaller on average) implies IF is
+// optimal. We check it is at least optimal within the enumerable family.
+TEST_P(IfOptimalWhenInelasticSmaller, BeatsWholeFamily) {
+  const OptimalityCase& c = GetParam();
+  ASSERT_GE(c.mu_i, c.mu_e);
+  const int k = 4;
+  const SystemParams p = SystemParams::from_load(k, c.mu_i, c.mu_e, c.rho);
+  const double et_if = exact_et(p, InelasticFirst{});
+  for (const auto& policy : policy_family(k)) {
+    const double et = exact_et(p, *policy);
+    // Strict numerical slack: the truncated solves agree to ~1e-8.
+    EXPECT_LE(et_if, et * (1.0 + 1e-7))
+        << policy->name() << " beat IF at mu_i=" << c.mu_i
+        << " mu_e=" << c.mu_e << " rho=" << c.rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorem5Grid, IfOptimalWhenInelasticSmaller,
+    testing::Values(OptimalityCase{1.0, 1.0, 0.5},   // Theorem 1 (equal)
+                    OptimalityCase{1.0, 1.0, 0.8},
+                    OptimalityCase{2.0, 1.0, 0.5},   // Theorem 5 (mu_I > mu_E)
+                    OptimalityCase{2.0, 1.0, 0.9},
+                    OptimalityCase{3.25, 1.0, 0.7},
+                    OptimalityCase{1.5, 0.5, 0.6}));
+
+// Section 4.3: with mu_I < mu_E and high enough load, EF beats IF.
+TEST(EfCanWin, HighLoadSmallElasticJobs) {
+  const SystemParams p = SystemParams::from_load(4, 0.25, 1.0, 0.9);
+  const double et_if = exact_et(p, InelasticFirst{});
+  const double et_ef = exact_et(p, ElasticFirst{});
+  EXPECT_LT(et_ef, et_if);
+}
+
+// ... but mu_I < mu_E does NOT always favor EF: at low load IF can still
+// win (Figure 4a shows IF dominating most of the mu_I < mu_E region).
+TEST(EfCanWin, LowLoadStillFavorsIfNearTheDiagonal) {
+  const SystemParams p = SystemParams::from_load(4, 0.9, 1.0, 0.5);
+  const double et_if = exact_et(p, InelasticFirst{});
+  const double et_ef = exact_et(p, ElasticFirst{});
+  EXPECT_LT(et_if, et_ef);
+}
+
+// Appendix B: adding idling to IF or EF never reduces mean response time.
+TEST(IdlingNeverHelps, AcrossLoadsAndPolicies) {
+  for (double rho : {0.5, 0.8}) {
+    const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, rho);
+    for (const auto& base : {make_inelastic_first(), make_elastic_first()}) {
+      const double et_base = exact_et(p, *base);
+      for (double idle : {0.5, 1.0, 2.0}) {
+        const double et_idle = exact_et(p, *make_idling(base, idle));
+        EXPECT_GE(et_idle, et_base * (1.0 - 1e-9))
+            << base->name() << " idle=" << idle << " rho=" << rho;
+      }
+    }
+  }
+}
+
+// The GREEDY* intuition of Theorem 1: when mu_I == mu_E every non-idling
+// policy in the family that always maximizes the departure rate has the
+// same departure rate in every state, but policies differ in how they
+// position the system for the future; IF's E[T] must still be minimal.
+TEST(Theorem1, EqualRatesIfMatchesOrBeatsCapPolicies) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const double et_if = exact_et(p, InelasticFirst{});
+  for (int cap = 0; cap <= 4; ++cap) {
+    const double et = exact_et(p, InelasticCap{cap});
+    EXPECT_LE(et_if, et * (1.0 + 1e-7)) << "cap=" << cap;
+  }
+}
+
+// Monotonicity in the cap parameter when mu_I > mu_E: pushing the policy
+// towards IF (larger cap) helps.
+TEST(CapSweep, LargerCapHelpsWhenInelasticSmaller) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.8);
+  double prev = 1e100;
+  for (int cap = 0; cap <= 4; ++cap) {
+    const double et = exact_et(p, InelasticCap{cap});
+    EXPECT_LE(et, prev * (1.0 + 1e-9)) << "cap=" << cap;
+    prev = et;
+  }
+}
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,166 @@
+// Unit tests for the model parameters and the policy family: feasibility
+// (the §2 constraints), work conservation, and the specific allocation
+// rules of IF, EF, and the rest of class P.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/params.hpp"
+#include "core/policies.hpp"
+
+namespace esched {
+namespace {
+
+SystemParams base_params() {
+  SystemParams p;
+  p.k = 4;
+  p.lambda_i = 1.0;
+  p.lambda_e = 1.0;
+  p.mu_i = 1.0;
+  p.mu_e = 1.0;
+  return p;
+}
+
+TEST(Params, LoadDecomposition) {
+  const SystemParams p = base_params();
+  EXPECT_DOUBLE_EQ(p.rho_i(), 0.25);
+  EXPECT_DOUBLE_EQ(p.rho_e(), 0.25);
+  EXPECT_DOUBLE_EQ(p.rho(), 0.5);
+  EXPECT_TRUE(p.stable());
+}
+
+TEST(Params, FromLoadHitsTargetRho) {
+  for (double rho : {0.3, 0.5, 0.7, 0.9}) {
+    for (double mu_i : {0.25, 1.0, 3.25}) {
+      const SystemParams p = SystemParams::from_load(4, mu_i, 1.0, rho);
+      EXPECT_NEAR(p.rho(), rho, 1e-12);
+      EXPECT_DOUBLE_EQ(p.lambda_i, p.lambda_e);  // the paper's convention
+    }
+  }
+}
+
+TEST(Params, ValidateRejectsNonsense) {
+  SystemParams p = base_params();
+  p.k = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = base_params();
+  p.mu_i = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = base_params();
+  p.lambda_e = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(InelasticFirstPolicy, AllocationRules) {
+  const SystemParams p = base_params();  // k = 4
+  const InelasticFirst policy;
+  // Fewer inelastic than servers: leftovers go to elastic.
+  Allocation a = policy.allocate({2, 3}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 2.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 2.0);
+  // Inelastic saturate the cluster.
+  a = policy.allocate({6, 3}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 4.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 0.0);
+  // No elastic jobs: servers beyond i stay idle.
+  a = policy.allocate({2, 0}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 2.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 0.0);
+  // Empty system.
+  a = policy.allocate({0, 0}, p);
+  EXPECT_DOUBLE_EQ(a.total(), 0.0);
+}
+
+TEST(ElasticFirstPolicy, AllocationRules) {
+  const SystemParams p = base_params();
+  const ElasticFirst policy;
+  // Any elastic job grabs everything.
+  Allocation a = policy.allocate({3, 1}, p);
+  EXPECT_DOUBLE_EQ(a.elastic, 4.0);
+  EXPECT_DOUBLE_EQ(a.inelastic, 0.0);
+  // No elastic jobs: like IF.
+  a = policy.allocate({6, 0}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 4.0);
+  a = policy.allocate({2, 0}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 2.0);
+}
+
+TEST(FairSharePolicy, ProportionalSplit) {
+  const SystemParams p = base_params();
+  const FairShare policy;
+  // 2 inelastic, 2 elastic: half the cluster each.
+  Allocation a = policy.allocate({2, 2}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 2.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 2.0);
+  // 1 inelastic, 3 elastic: share 1 for inelastic.
+  a = policy.allocate({1, 3}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 1.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 3.0);
+  // 8 inelastic, 8 elastic: inelastic share is k/2 = 2.
+  a = policy.allocate({8, 8}, p);
+  EXPECT_DOUBLE_EQ(a.inelastic, 2.0);
+  EXPECT_DOUBLE_EQ(a.elastic, 2.0);
+}
+
+TEST(InelasticCapPolicy, InterpolatesBetweenEFAndIF) {
+  const SystemParams p = base_params();
+  const InelasticCap cap0(0);
+  const InelasticCap capk(4);
+  const InelasticFirst if_policy;
+  const ElasticFirst ef_policy;
+  for (long i = 0; i <= 6; ++i) {
+    for (long j = 0; j <= 6; ++j) {
+      const Allocation a0 = cap0.allocate({i, j}, p);
+      const Allocation aef = ef_policy.allocate({i, j}, p);
+      EXPECT_DOUBLE_EQ(a0.inelastic, aef.inelastic) << i << "," << j;
+      EXPECT_DOUBLE_EQ(a0.elastic, aef.elastic) << i << "," << j;
+      const Allocation ak = capk.allocate({i, j}, p);
+      const Allocation aif = if_policy.allocate({i, j}, p);
+      EXPECT_DOUBLE_EQ(ak.inelastic, aif.inelastic) << i << "," << j;
+      EXPECT_DOUBLE_EQ(ak.elastic, aif.elastic) << i << "," << j;
+    }
+  }
+}
+
+TEST(Policies, AllWorkConservingMembersPassTheGridCheck) {
+  const SystemParams p = base_params();
+  EXPECT_TRUE(is_work_conserving(InelasticFirst{}, p));
+  EXPECT_TRUE(is_work_conserving(ElasticFirst{}, p));
+  EXPECT_TRUE(is_work_conserving(FairShare{}, p));
+  EXPECT_TRUE(is_work_conserving(InelasticCap{2}, p));
+}
+
+TEST(Policies, IdlingPolicyIsNotWorkConserving) {
+  const SystemParams p = base_params();
+  const IdlingPolicy idler(make_inelastic_first(), 1.0);
+  EXPECT_FALSE(is_work_conserving(idler, p));
+  // But it must still be feasible everywhere.
+  for (long i = 0; i <= 8; ++i) {
+    for (long j = 0; j <= 8; ++j) {
+      EXPECT_NO_THROW(idler.check_feasible({i, j}, p));
+    }
+  }
+}
+
+TEST(Policies, FeasibilityGridForAllPolicies) {
+  const SystemParams p = base_params();
+  const std::vector<PolicyPtr> policies = {
+      make_inelastic_first(), make_elastic_first(), make_fair_share(),
+      make_inelastic_cap(1), make_inelastic_cap(3)};
+  for (const auto& policy : policies) {
+    for (long i = 0; i <= 10; ++i) {
+      for (long j = 0; j <= 10; ++j) {
+        EXPECT_NO_THROW(policy->check_feasible({i, j}, p)) << policy->name();
+      }
+    }
+  }
+}
+
+TEST(Policies, NamesAreDistinct) {
+  EXPECT_EQ(make_inelastic_first()->name(), "IF");
+  EXPECT_EQ(make_elastic_first()->name(), "EF");
+  EXPECT_EQ(make_inelastic_cap(2)->name(), "InelasticCap(2)");
+  EXPECT_EQ(make_idling(make_elastic_first(), 1.0)->name(), "Idling(EF)");
+}
+
+}  // namespace
+}  // namespace esched

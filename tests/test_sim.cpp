@@ -1,0 +1,180 @@
+// Tests for the job-level and state-level simulators: closed-form M/M/1 /
+// M/M/k sanity, agreement with the analysis, Little's law, invariant
+// checking, and the phase-type size extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/if_analysis.hpp"
+#include "core/policies.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mmk.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/ctmc_sim.hpp"
+
+namespace esched {
+namespace {
+
+SimOptions fast_sim(std::uint64_t seed = 1) {
+  SimOptions opt;
+  opt.num_jobs = 120000;
+  opt.warmup_jobs = 12000;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ClusterSim, PureElasticIsMM1) {
+  // Only elastic traffic under EF: the whole system is an M/M/1 with
+  // service rate k mu_E.
+  SystemParams p;
+  p.k = 4;
+  p.lambda_i = 0.0;
+  p.lambda_e = 2.8;
+  p.mu_i = 1.0;
+  p.mu_e = 1.0;  // rho = 0.7
+  SimOptions opt = fast_sim();
+  opt.num_jobs = 250000;  // rho = 0.7 M/M/1 response times are long-range
+  opt.warmup_jobs = 25000;  // correlated; more data tightens the estimate
+  const SimResult r = simulate(p, ElasticFirst{}, opt);
+  const MM1 ref(p.lambda_e, 4.0);
+  EXPECT_LT(relative_error(r.mean_response_time.mean,
+                           ref.mean_response_time()),
+            0.05);
+  EXPECT_LT(relative_error(r.mean_jobs_e, ref.mean_jobs()), 0.05);
+}
+
+TEST(ClusterSim, PureInelasticIsMMk) {
+  SystemParams p;
+  p.k = 4;
+  p.lambda_i = 2.8;
+  p.lambda_e = 0.0;
+  p.mu_i = 1.0;
+  p.mu_e = 1.0;
+  const SimResult r = simulate(p, InelasticFirst{}, fast_sim(2));
+  const MMk ref(p.lambda_i, p.mu_i, p.k);
+  EXPECT_LT(relative_error(r.mean_response_time.mean,
+                           ref.mean_response_time()),
+            0.03);
+}
+
+TEST(ClusterSim, LittlesLawHolds) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const SimResult r = simulate(p, InelasticFirst{}, fast_sim(3));
+  const double n_from_little =
+      (p.lambda_i + p.lambda_e) * r.mean_response_time.mean;
+  EXPECT_LT(relative_error(n_from_little, r.mean_jobs_i + r.mean_jobs_e),
+            0.03);
+}
+
+TEST(ClusterSim, MatchesIfAnalysis) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const double analytic = analyze_inelastic_first(p).mean_response_time;
+  const SimResult r = simulate(p, InelasticFirst{}, fast_sim(4));
+  EXPECT_LT(relative_error(r.mean_response_time.mean, analytic), 0.03);
+}
+
+TEST(ClusterSim, MatchesEfAnalysis) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const double analytic = analyze_elastic_first(p).mean_response_time;
+  const SimResult r = simulate(p, ElasticFirst{}, fast_sim(5));
+  EXPECT_LT(relative_error(r.mean_response_time.mean, analytic), 0.03);
+}
+
+TEST(ClusterSim, UtilizationMatchesLoad) {
+  // In steady state the served work rate must equal the arriving work rate
+  // rho (per server).
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.6);
+  const SimResult r = simulate(p, InelasticFirst{}, fast_sim(6));
+  EXPECT_NEAR(r.utilization, 0.6, 0.02);
+}
+
+TEST(ClusterSim, InvariantCheckingRuns) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.5);
+  SimOptions opt = fast_sim(7);
+  opt.num_jobs = 20000;
+  opt.warmup_jobs = 2000;
+  opt.check_invariants = true;
+  EXPECT_NO_THROW(simulate(p, FairShare{}, opt));
+}
+
+TEST(ClusterSim, SeedsChangeRealizationNotMean) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.5);
+  const SimResult a = simulate(p, InelasticFirst{}, fast_sim(10));
+  const SimResult b = simulate(p, InelasticFirst{}, fast_sim(11));
+  EXPECT_NE(a.mean_response_time.mean, b.mean_response_time.mean);
+  EXPECT_LT(relative_error(a.mean_response_time.mean,
+                           b.mean_response_time.mean),
+            0.05);
+}
+
+TEST(ClusterSim, DeterministicGivenSeed) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.5);
+  SimOptions opt = fast_sim(12);
+  opt.num_jobs = 20000;
+  opt.warmup_jobs = 1000;
+  const SimResult a = simulate(p, InelasticFirst{}, opt);
+  const SimResult b = simulate(p, InelasticFirst{}, opt);
+  EXPECT_DOUBLE_EQ(a.mean_response_time.mean, b.mean_response_time.mean);
+  EXPECT_DOUBLE_EQ(a.sim_time, b.sim_time);
+}
+
+TEST(ClusterSim, PhaseTypeSizesChangeTheAnswer) {
+  // Extension: hyperexponential elastic sizes with the same mean increase
+  // variability; mean response time under EF must still be finite and the
+  // simulator must honor the distribution's mean (arrival work balance).
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.6);
+  const PhaseType hyper =
+      PhaseType::hyperexponential({0.9, 0.1}, {9.0 / 5.0, 1.0 / 5.0});
+  ASSERT_NEAR(hyper.mean(), 1.0, 1e-12);  // same mean as Exp(mu_e = 1)
+  SimOptions opt = fast_sim(13);
+  opt.size_dist_e = &hyper;
+  const SimResult r = simulate(p, InelasticFirst{}, opt);
+  EXPECT_NEAR(r.utilization, 0.6, 0.03);
+  EXPECT_GT(r.mean_response_time.mean, 0.0);
+}
+
+TEST(ClusterSim, RejectsNoArrivals) {
+  SystemParams p;
+  p.k = 2;
+  p.mu_i = 1.0;
+  p.mu_e = 1.0;
+  EXPECT_THROW(simulate(p, InelasticFirst{}, fast_sim()), Error);
+}
+
+TEST(CtmcSim, AgreesWithJobLevelSimulator) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  CtmcSimOptions copt;
+  copt.horizon = 300000.0;
+  copt.warmup = 30000.0;
+  copt.seed = 21;
+  const CtmcSimResult fast = simulate_ctmc(p, InelasticFirst{}, copt);
+  const SimResult slow = simulate(p, InelasticFirst{}, fast_sim(22));
+  EXPECT_LT(relative_error(fast.mean_response_time,
+                           slow.mean_response_time.mean),
+            0.04);
+}
+
+TEST(CtmcSim, MatchesAnalysis) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.8);
+  CtmcSimOptions copt;
+  copt.horizon = 400000.0;
+  copt.warmup = 40000.0;
+  copt.seed = 23;
+  const CtmcSimResult r = simulate_ctmc(p, InelasticFirst{}, copt);
+  const double analytic = analyze_inelastic_first(p).mean_response_time;
+  EXPECT_LT(relative_error(r.mean_response_time, analytic), 0.04);
+}
+
+TEST(CtmcSim, RejectsBadHorizon) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  CtmcSimOptions copt;
+  copt.horizon = 10.0;
+  copt.warmup = 20.0;
+  EXPECT_THROW(simulate_ctmc(p, InelasticFirst{}, copt), Error);
+}
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,151 @@
+// Tests for transient CTMC analysis (uniformization) and the
+// expected-work trajectories — the expectation form of Theorem 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/policies.hpp"
+#include "core/transient_work.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/stationary.hpp"
+#include "markov/transient.hpp"
+
+namespace esched {
+namespace {
+
+TEST(Transient, TwoStateClosedForm) {
+  // 0 <-> 1 with rates a, b: P(X(t)=1 | X(0)=0) =
+  // a/(a+b) (1 - e^{-(a+b)t}).
+  const double a = 2.0;
+  const double b = 3.0;
+  SparseCtmc chain(2);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(1, 0, b);
+  chain.freeze();
+  for (double t : {0.05, 0.2, 1.0, 5.0}) {
+    const Vector dist = transient_distribution(chain, {1.0, 0.0}, t);
+    const double expected =
+        a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(dist[1], expected, 1e-10) << "t=" << t;
+  }
+}
+
+TEST(Transient, PureDeathPoissonCount) {
+  // States 3 -> 2 -> 1 -> 0 at rate mu: X(t) = 3 - min(3, Poisson(mu t)).
+  const double mu = 1.5;
+  SparseCtmc chain(4);
+  for (std::size_t s = 1; s < 4; ++s) chain.add_rate(s, s - 1, mu);
+  chain.freeze();
+  Vector init(4, 0.0);
+  init[3] = 1.0;
+  const double t = 0.8;
+  const Vector dist = transient_distribution(chain, init, t);
+  const double lt = mu * t;
+  const double p0 = std::exp(-lt);
+  const double p1 = p0 * lt;
+  const double p2 = p1 * lt / 2.0;
+  EXPECT_NEAR(dist[3], p0, 1e-10);
+  EXPECT_NEAR(dist[2], p1, 1e-10);
+  EXPECT_NEAR(dist[1], p2, 1e-10);
+  EXPECT_NEAR(dist[0], 1.0 - p0 - p1 - p2, 1e-10);
+}
+
+TEST(Transient, ConvergesToStationary) {
+  SparseCtmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 0, 4.0);
+  chain.freeze();
+  const Vector pi = gth_stationary(chain);
+  const Vector late = transient_distribution(chain, {1.0, 0.0, 0.0}, 200.0);
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_NEAR(late[s], pi[s], 1e-8);
+}
+
+TEST(Transient, TimeZeroIsInitial) {
+  SparseCtmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.freeze();
+  const Vector dist = transient_distribution(chain, {0.25, 0.75}, 0.0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.25);
+  EXPECT_DOUBLE_EQ(dist[1], 0.75);
+}
+
+TEST(Transient, ExpectedRewardSeries) {
+  // Pure death 1 -> 0 at rate mu, reward = state: E[X(t)] = e^{-mu t}.
+  SparseCtmc chain(2);
+  chain.add_rate(1, 0, 1.0);
+  chain.freeze();
+  const Vector times = {0.0, 0.5, 1.0, 2.0};
+  const Vector series =
+      transient_expected_reward(chain, {0.0, 1.0}, {0.0, 1.0}, times);
+  for (std::size_t n = 0; n < times.size(); ++n) {
+    EXPECT_NEAR(series[n], std::exp(-times[n]), 1e-10);
+  }
+  EXPECT_THROW(
+      transient_expected_reward(chain, {0.0, 1.0}, {0.0, 1.0}, {1.0, 0.5}),
+      Error);
+}
+
+// The expectation form of Theorem 3: starting from a common state with
+// arrivals running, E[W^IF(t)] <= E[W^pi(t)] and E[W_I^IF(t)] <=
+// E[W_I^pi(t)] for every pi in P, at every time.
+TEST(ExpectedWork, Theorem3InExpectation) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const State start{3, 2};
+  const std::vector<double> times = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  TransientWorkOptions opt;
+  opt.imax = 60;
+  opt.jmax = 60;
+  const auto if_work =
+      expected_work_trajectory(p, InelasticFirst{}, start, times, opt);
+  for (const auto& policy :
+       {make_elastic_first(), make_fair_share(), make_inelastic_cap(2)}) {
+    const auto other =
+        expected_work_trajectory(p, *policy, start, times, opt);
+    for (std::size_t n = 0; n < times.size(); ++n) {
+      EXPECT_LE(if_work[n].total, other[n].total + 1e-8)
+          << policy->name() << " t=" << times[n];
+      EXPECT_LE(if_work[n].inelastic, other[n].inelastic + 1e-8)
+          << policy->name() << " t=" << times[n];
+    }
+  }
+}
+
+TEST(ExpectedWork, StartsAtDeterministicWork) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.5);
+  const State start{2, 3};
+  const auto series =
+      expected_work_trajectory(p, InelasticFirst{}, start, {0.0});
+  // E[W(0)] = i/mu_I + j/mu_E deterministically at t = 0.
+  EXPECT_NEAR(series[0].total, 2.0 / 2.0 + 3.0 / 1.0, 1e-9);
+  EXPECT_NEAR(series[0].inelastic, 1.0, 1e-9);
+}
+
+TEST(ExpectedWork, ApproachesSteadyStateWork) {
+  // As t grows, E[W(t)] must approach the stationary E[W] = E[N_I]/mu_I +
+  // E[N_E]/mu_E regardless of the start state.
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.6);
+  TransientWorkOptions opt;
+  opt.imax = 60;
+  opt.jmax = 60;
+  const auto late = expected_work_trajectory(p, InelasticFirst{}, {8, 0},
+                                             {300.0}, opt);
+  const auto late2 = expected_work_trajectory(p, InelasticFirst{}, {0, 8},
+                                              {300.0}, opt);
+  EXPECT_NEAR(late[0].total, late2[0].total, 1e-6);
+}
+
+TEST(ExpectedWork, RejectsStartOutsideTruncation) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  TransientWorkOptions opt;
+  opt.imax = 4;
+  opt.jmax = 4;
+  EXPECT_THROW(
+      expected_work_trajectory(p, InelasticFirst{}, {5, 0}, {1.0}, opt),
+      Error);
+}
+
+}  // namespace
+}  // namespace esched
