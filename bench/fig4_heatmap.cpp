@@ -5,69 +5,81 @@
 // ('I' = IF superior, 'E' = EF superior), reproducing the paper's red
 // circle / blue plus maps. Expected shape: IF wins everywhere mu_I >= mu_E,
 // and the EF region (mu_I < mu_E corner) grows with rho.
+//
+// Thin wrapper over the sweep engine: the grid is the engine's built-in
+// "fig4" scenario (the single source of truth for the figure's axes),
+// solved in parallel by the SweepRunner; only the printing stays here.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
-#include "core/ef_analysis.hpp"
-#include "core/if_analysis.hpp"
-
-namespace {
-
-constexpr int kServers = 4;
-constexpr double kGridStep = 0.25;
-constexpr double kGridMax = 3.5;
-
-void run_heatmap(double rho, esched::CsvWriter& csv) {
-  using namespace esched;
-  std::printf("\nFigure 4: rho = %.1f, k = %d (rows mu_E top-down, cols mu_I "
-              "left-right; I = IF wins, E = EF wins)\n",
-              rho, kServers);
-  std::printf("%7s", "mu_E\\I");
-  for (double mu_i = kGridStep; mu_i <= kGridMax + 1e-9; mu_i += kGridStep) {
-    std::printf("%5.2f", mu_i);
-  }
-  std::printf("\n");
-
-  int if_wins = 0;
-  int ef_wins = 0;
-  int if_wins_upper = 0;   // mu_I >= mu_E (Theorem 5 region)
-  int points_upper = 0;
-  for (double mu_e = kGridMax; mu_e >= kGridStep - 1e-9; mu_e -= kGridStep) {
-    std::printf("%6.2f ", mu_e);
-    for (double mu_i = kGridStep; mu_i <= kGridMax + 1e-9;
-         mu_i += kGridStep) {
-      const SystemParams p =
-          SystemParams::from_load(kServers, mu_i, mu_e, rho);
-      const double et_if = analyze_inelastic_first(p).mean_response_time;
-      const double et_ef = analyze_elastic_first(p).mean_response_time;
-      const bool if_better = et_if <= et_ef;
-      (if_better ? if_wins : ef_wins)++;
-      if (mu_i >= mu_e - 1e-9) {
-        ++points_upper;
-        if (if_better) ++if_wins_upper;
-      }
-      std::printf("%5c", if_better ? 'I' : 'E');
-      csv.add_row({format_double(rho), format_double(mu_i),
-                   format_double(mu_e), format_double(et_if),
-                   format_double(et_ef), if_better ? "IF" : "EF"});
-    }
-    std::printf("\n");
-  }
-  std::printf("summary: IF wins %d points, EF wins %d points; "
-              "IF wins %d/%d points with mu_I >= mu_E (paper: all)\n",
-              if_wins, ef_wins, if_wins_upper, points_upper);
-}
-
-}  // namespace
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
-  esched::CsvWriter csv("fig4_heatmap.csv",
-                        {"rho", "mu_i", "mu_e", "et_if", "et_ef", "winner"});
+  using namespace esched;
+  CsvWriter csv("fig4_heatmap.csv",
+                {"rho", "mu_i", "mu_e", "et_if", "et_ef", "winner"});
   std::printf("=== Figure 4 reproduction: IF vs EF winner maps ===\n");
-  for (double rho : {0.5, 0.7, 0.9}) run_heatmap(rho, csv);
+
+  const Scenario scenario = builtin_scenario("fig4");
+  ESCHED_CHECK(scenario.policies == std::vector<std::string>({"IF", "EF"}) &&
+                   scenario.solvers.size() == 1 &&
+                   scenario.mu_i_values == scenario.mu_e_values,
+               "fig4 index mapping assumes the built-in scenario's shape");
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  const auto results = runner.run(points);
+
+  // Expansion is row-major over (rho, mu_i, mu_e, policy={IF,EF}); the
+  // figure prints mu_E descending, mu_I ascending.
+  const auto& mu_grid = scenario.mu_i_values;  // same grid on both axes
+  const std::size_t grid = mu_grid.size();
+  const auto result_at = [&](std::size_t r, std::size_t a, std::size_t b,
+                             std::size_t policy) -> const RunResult& {
+    return results[((r * grid + a) * grid + b) * 2 + policy];
+  };
+  const int k = scenario.k_values.front();
+
+  for (std::size_t r = 0; r < scenario.rho_values.size(); ++r) {
+    const double rho = scenario.rho_values[r];
+    std::printf("\nFigure 4: rho = %.1f, k = %d (rows mu_E top-down, cols "
+                "mu_I left-right; I = IF wins, E = EF wins)\n",
+                rho, k);
+    std::printf("%7s", "mu_E\\I");
+    for (const double mu_i : mu_grid) std::printf("%5.2f", mu_i);
+    std::printf("\n");
+
+    int if_wins = 0;
+    int ef_wins = 0;
+    int if_wins_upper = 0;   // mu_I >= mu_E (Theorem 5 region)
+    int points_upper = 0;
+    for (std::size_t b = grid; b-- > 0;) {
+      const double mu_e = mu_grid[b];
+      std::printf("%6.2f ", mu_e);
+      for (std::size_t a = 0; a < grid; ++a) {
+        const double mu_i = mu_grid[a];
+        const double et_if = result_at(r, a, b, 0).mean_response_time;
+        const double et_ef = result_at(r, a, b, 1).mean_response_time;
+        const bool if_better = et_if <= et_ef;
+        (if_better ? if_wins : ef_wins)++;
+        if (mu_i >= mu_e - 1e-9) {
+          ++points_upper;
+          if (if_better) ++if_wins_upper;
+        }
+        std::printf("%5c", if_better ? 'I' : 'E');
+        csv.add_row({format_double(rho), format_double(mu_i),
+                     format_double(mu_e), format_double(et_if),
+                     format_double(et_ef), if_better ? "IF" : "EF"});
+      }
+      std::printf("\n");
+    }
+    std::printf("summary: IF wins %d points, EF wins %d points; "
+                "IF wins %d/%d points with mu_I >= mu_E (paper: all)\n",
+                if_wins, ef_wins, if_wins_upper, points_upper);
+  }
   std::printf("\nwrote fig4_heatmap.csv (%zu rows)\n", csv.num_rows());
   return 0;
 }

@@ -3,39 +3,59 @@
 // Figure 5c: (mu_I = 0.25, mu_E = 1) where EF dominates, and
 // (mu_I = 3.25, mu_E = 1) where IF dominates. Expected shape: the gap
 // between the policies persists even at k = 16.
+//
+// Thin wrapper over the sweep engine: the k-axis is the engine's built-in
+// "fig6" scenario (the single source of truth for the figure's axes),
+// solved in parallel by the SweepRunner; only the printing stays here.
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/csv.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
-#include "core/ef_analysis.hpp"
-#include "core/if_analysis.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  constexpr double kRho = 0.9;
   CsvWriter csv("fig6_vs_k.csv", {"mu_i", "mu_e", "k", "et_if", "et_ef"});
+
+  const Scenario scenario = builtin_scenario("fig6");
+  ESCHED_CHECK(scenario.policies == std::vector<std::string>({"IF", "EF"}) &&
+                   scenario.solvers.size() == 1 &&
+                   scenario.rho_values.size() == 1 &&
+                   scenario.mu_i_values.size() == 2 &&
+                   scenario.mu_e_values.size() == 1,
+               "fig6 index mapping assumes the built-in scenario's shape");
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  const auto results = runner.run(points);
+
+  const double rho = scenario.rho_values.front();
+  const double mu_e = scenario.mu_e_values.front();
   std::printf("=== Figure 6 reproduction: E[T] vs k at rho = %.1f ===\n",
-              kRho);
-  const struct {
-    double mu_i, mu_e;
-    const char* label;
-  } panels[] = {{0.25, 1.0, "(a) mu_I = 0.25, mu_E = 1 (EF region)"},
-                {3.25, 1.0, "(b) mu_I = 3.25, mu_E = 1 (IF region)"}};
-  for (const auto& panel : panels) {
+              rho);
+  const char* labels[] = {"(a) mu_I = 0.25, mu_E = 1 (EF region)",
+                          "(b) mu_I = 3.25, mu_E = 1 (IF region)"};
+
+  // Expansion is row-major over (k, mu_i, policy={IF,EF}): 4 results per
+  // k; the figure prints one panel per mu_I.
+  for (std::size_t panel = 0; panel < scenario.mu_i_values.size(); ++panel) {
+    const double mu_i = scenario.mu_i_values[panel];
     Table table({"k", "E[T] IF", "E[T] EF", "gap EF-IF"});
-    for (int k = 2; k <= 16; ++k) {
-      const SystemParams p =
-          SystemParams::from_load(k, panel.mu_i, panel.mu_e, kRho);
-      const double et_if = analyze_inelastic_first(p).mean_response_time;
-      const double et_ef = analyze_elastic_first(p).mean_response_time;
+    for (std::size_t n = 0; n < scenario.k_values.size(); ++n) {
+      const int k = scenario.k_values[n];
+      const double et_if = results[n * 4 + panel * 2].mean_response_time;
+      const double et_ef = results[n * 4 + panel * 2 + 1].mean_response_time;
       table.add_row({std::to_string(k), format_double(et_if),
                      format_double(et_ef), format_double(et_ef - et_if)});
-      csv.add_row({format_double(panel.mu_i), format_double(panel.mu_e),
+      csv.add_row({format_double(mu_i), format_double(mu_e),
                    std::to_string(k), format_double(et_if),
                    format_double(et_ef)});
     }
-    std::printf("\n--- %s ---\n", panel.label);
+    std::printf("\n--- %s ---\n", labels[panel]);
     table.print(std::cout);
   }
   std::printf("\nwrote fig6_vs_k.csv (%zu rows)\n", csv.num_rows());

@@ -56,18 +56,21 @@ ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
   chain.freeze();
 
   Vector pi;
+  StationarySolveInfo solve_info;
   if (num_states <= options.gth_state_limit) {
     pi = gth_stationary(chain);
+    solve_info.converged = true;
+    solve_info.residual = stationary_residual(chain, pi);
   } else {
-    StationarySolveInfo info;
     pi = sor_stationary(chain, options.sor_tol, options.sor_max_iters,
-                        options.sor_omega, &info);
-    ESCHED_CHECK(info.converged,
+                        options.sor_omega, &solve_info);
+    ESCHED_CHECK(solve_info.converged,
                  "SOR did not converge; increase iterations or loosen tol");
   }
 
   ExactCtmcResult result;
   result.num_states = num_states;
+  result.solve_info = solve_info;
   for (long i = 0; i < ni; ++i) {
     for (long j = 0; j < nj; ++j) {
       const double p = pi[index(i, j)];

@@ -12,6 +12,7 @@
 
 #include "core/params.hpp"
 #include "core/policy.hpp"
+#include "markov/stationary.hpp"
 
 namespace esched {
 
@@ -38,6 +39,10 @@ struct ExactCtmcResult {
   /// j == jmax; a large value means the truncation is too tight.
   double boundary_mass = 0.0;
   std::size_t num_states = 0;
+  /// Cost/quality of the stationary solve. GTH is direct, so its entry has
+  /// iterations == 0, converged == true, and the measured residual; the SOR
+  /// path reports the iterative solver's own exit state.
+  StationarySolveInfo solve_info;
 };
 
 /// Solves the truncated chain for `policy` at `params`. Requires rho < 1

@@ -1,0 +1,127 @@
+#include "engine/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace esched {
+
+namespace {
+
+const std::vector<std::string>& report_header() {
+  static const std::vector<std::string> header = {
+      "k",          "rho",           "mu_i",          "mu_e",
+      "elastic_cap", "lambda_i",     "lambda_e",      "policy",
+      "solver",     "et",            "et_i",          "et_e",
+      "en_i",       "en_e",          "ci_halfwidth",  "boundary_mass",
+      "iterations", "residual",      "solve_seconds", "from_cache"};
+  return header;
+}
+
+std::vector<std::string> report_row(const RunPoint& point,
+                                    const RunResult& result) {
+  const SystemParams& p = point.params;
+  return {std::to_string(p.k),
+          format_double(p.rho()),
+          format_double(p.mu_i),
+          format_double(p.mu_e),
+          std::to_string(p.elastic_cap),
+          format_double(p.lambda_i),
+          format_double(p.lambda_e),
+          point.policy,
+          solver_name(point.solver),
+          format_double(result.mean_response_time, 12),
+          format_double(result.mean_response_time_i, 12),
+          format_double(result.mean_response_time_e, 12),
+          format_double(result.mean_jobs_i, 12),
+          format_double(result.mean_jobs_e, 12),
+          format_double(result.ci_halfwidth),
+          format_double(result.boundary_mass),
+          std::to_string(result.solver_iterations),
+          format_double(result.solve_residual),
+          format_double(result.solve_seconds),
+          result.from_cache ? "1" : "0"};
+}
+
+}  // namespace
+
+void write_csv_report(const std::string& path,
+                      const std::vector<RunPoint>& points,
+                      const std::vector<RunResult>& results) {
+  ESCHED_CHECK(points.size() == results.size(),
+               "points/results size mismatch");
+  CsvWriter csv(path, report_header());
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    csv.add_row(report_row(points[n], results[n]));
+  }
+}
+
+void write_json_report(const std::string& path,
+                       const std::vector<RunPoint>& points,
+                       const std::vector<RunResult>& results,
+                       const SweepStats* stats) {
+  ESCHED_CHECK(points.size() == results.size(),
+               "points/results size mismatch");
+  std::ofstream out(path);
+  ESCHED_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  const auto& header = report_header();
+  out << "{\n  \"points\": [\n";
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    const auto row = report_row(points[n], results[n]);
+    out << "    {";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (c > 0) out << ", ";
+      // Only the policy/solver columns are strings; everything else is
+      // emitted numerically (format_double never produces non-JSON text).
+      const bool quoted = header[c] == "policy" || header[c] == "solver";
+      out << '"' << header[c] << "\": ";
+      if (quoted) out << '"' << row[c] << '"';
+      else out << row[c];
+    }
+    out << '}' << (n + 1 < points.size() ? "," : "") << '\n';
+  }
+  out << "  ]";
+  if (stats != nullptr) {
+    out << ",\n  \"stats\": {\"total_points\": " << stats->total_points
+        << ", \"solved_points\": " << stats->solved_points
+        << ", \"cache_hits\": " << stats->cache_hits
+        << ", \"threads\": " << stats->threads_used
+        << ", \"wall_seconds\": " << format_double(stats->wall_seconds)
+        << "}";
+  }
+  out << "\n}\n";
+  ESCHED_CHECK(out.good(), "error writing '" + path + "'");
+}
+
+void print_sweep_summary(std::ostream& os, const std::vector<RunPoint>& points,
+                         const std::vector<RunResult>& results,
+                         const SweepStats& stats, std::size_t max_rows) {
+  ESCHED_CHECK(points.size() == results.size(),
+               "points/results size mismatch");
+  Table table({"k", "rho", "mu_i", "mu_e", "policy", "solver", "E[T]",
+               "E[T]_I", "E[T]_E", "cached"});
+  const std::size_t shown = std::min(points.size(), max_rows);
+  for (std::size_t n = 0; n < shown; ++n) {
+    const SystemParams& p = points[n].params;
+    table.add_row({std::to_string(p.k), format_double(p.rho()),
+                   format_double(p.mu_i), format_double(p.mu_e),
+                   points[n].policy, solver_name(points[n].solver),
+                   format_double(results[n].mean_response_time),
+                   format_double(results[n].mean_response_time_i),
+                   format_double(results[n].mean_response_time_e),
+                   results[n].from_cache ? "y" : "n"});
+  }
+  table.print(os);
+  if (shown < points.size()) {
+    os << "... (" << points.size() - shown << " more rows; see CSV/JSON)\n";
+  }
+  os << "points: " << stats.total_points << " (solved " << stats.solved_points
+     << ", cache hits " << stats.cache_hits << ") | threads: "
+     << stats.threads_used << " | wall: " << format_double(stats.wall_seconds)
+     << " s\n";
+}
+
+}  // namespace esched

@@ -1,0 +1,34 @@
+// Sweep result reporting: CSV and JSON persistence plus a console summary,
+// built on common/csv and common/table so every scenario emits the same
+// uniform schema regardless of which solver produced each row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace esched {
+
+/// The uniform report schema, one row per RunPoint (input order).
+/// Columns: k, rho, mu_i, mu_e, elastic_cap, lambda_i, lambda_e, policy,
+/// solver, et, et_i, et_e, en_i, en_e, ci_halfwidth, boundary_mass,
+/// iterations, residual, solve_seconds, from_cache.
+void write_csv_report(const std::string& path,
+                      const std::vector<RunPoint>& points,
+                      const std::vector<RunResult>& results);
+
+/// Same rows as a JSON document: {"points": [...], "stats": {...}?}.
+void write_json_report(const std::string& path,
+                       const std::vector<RunPoint>& points,
+                       const std::vector<RunResult>& results,
+                       const SweepStats* stats = nullptr);
+
+/// Prints the sweep to `os` as an aligned table (capped at `max_rows` data
+/// rows, with an ellipsis note when truncated) followed by a stats line.
+void print_sweep_summary(std::ostream& os, const std::vector<RunPoint>& points,
+                         const std::vector<RunResult>& results,
+                         const SweepStats& stats, std::size_t max_rows = 40);
+
+}  // namespace esched

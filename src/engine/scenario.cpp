@@ -1,0 +1,216 @@
+#include "engine/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "core/policies.hpp"
+
+namespace esched {
+
+const char* solver_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kQbdAnalysis: return "qbd";
+    case SolverKind::kExactCtmc: return "exact";
+    case SolverKind::kSimulation: return "sim";
+    case SolverKind::kMmkBaseline: return "mmk";
+  }
+  ESCHED_ASSERT(false, "unreachable solver kind");
+}
+
+SolverKind parse_solver(const std::string& name) {
+  if (name == "qbd") return SolverKind::kQbdAnalysis;
+  if (name == "exact") return SolverKind::kExactCtmc;
+  if (name == "sim") return SolverKind::kSimulation;
+  if (name == "mmk") return SolverKind::kMmkBaseline;
+  throw Error("unknown solver '" + name + "' (expected qbd|exact|sim|mmk)");
+}
+
+PolicyPtr make_policy(const std::string& spec) {
+  if (spec == "IF") return make_inelastic_first();
+  if (spec == "EF") return make_elastic_first();
+  if (spec == "FairShare") return make_fair_share();
+  if (spec.rfind("Cap", 0) == 0 && spec.size() > 3) {
+    char* end = nullptr;
+    const long cap = std::strtol(spec.c_str() + 3, &end, 10);
+    ESCHED_CHECK(end != nullptr && *end == '\0' && cap >= 0,
+                 "bad policy spec '" + spec + "': CapN needs integer N >= 0");
+    return make_inelastic_cap(static_cast<int>(cap));
+  }
+  if (spec.rfind("IF+idle", 0) == 0 && spec.size() > 7) {
+    char* end = nullptr;
+    const double idle = std::strtod(spec.c_str() + 7, &end);
+    ESCHED_CHECK(end != nullptr && *end == '\0' && idle >= 0.0,
+                 "bad policy spec '" + spec + "': IF+idleX needs X >= 0");
+    return make_idling(make_inelastic_first(), idle);
+  }
+  throw Error("unknown policy spec '" + spec +
+              "' (expected IF|EF|FairShare|CapN|IF+idleX)");
+}
+
+namespace {
+
+/// Shortest round-trippable decimal form of a double, for cache keys.
+std::string key_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string RunPoint::cache_key() const {
+  std::string key;
+  key.reserve(160);
+  key += "k=" + std::to_string(params.k);
+  key += ";li=" + key_double(params.lambda_i);
+  key += ";le=" + key_double(params.lambda_e);
+  key += ";mi=" + key_double(params.mu_i);
+  key += ";me=" + key_double(params.mu_e);
+  key += ";cap=" + std::to_string(params.elastic_cap);
+  key += ";policy=" + policy;
+  key += ";solver=";
+  key += solver_name(solver);
+  key += ";fit=" + std::to_string(static_cast<int>(options.fit_order));
+  key += ";eps=" + key_double(options.truncation_epsilon);
+  key += ";imax=" + std::to_string(options.imax);
+  key += ";jmax=" + std::to_string(options.jmax);
+  key += ";jobs=" + std::to_string(options.sim_jobs);
+  key += ";warmup=" + std::to_string(options.sim_warmup);
+  key += ";seed=" + std::to_string(options.base_seed);
+  return key;
+}
+
+std::uint64_t RunPoint::seed() const {
+  // FNV-1a over the canonical key: platform-independent and stable, so a
+  // point's RNG stream never depends on scheduling order or thread count.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : cache_key()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;  // xoshiro-style generators reject all-zero seeds
+}
+
+std::size_t Scenario::num_points() const {
+  return k_values.size() * rho_values.size() * mu_i_values.size() *
+         mu_e_values.size() * elastic_caps.size() * policies.size() *
+         solvers.size();
+}
+
+void Scenario::validate() const {
+  ESCHED_CHECK(!k_values.empty() && !rho_values.empty() &&
+                   !mu_i_values.empty() && !mu_e_values.empty() &&
+                   !elastic_caps.empty() && !policies.empty() &&
+                   !solvers.empty(),
+               "scenario '" + name + "' has an empty axis");
+  for (const double rho : rho_values) {
+    ESCHED_CHECK(rho >= 0.0 && rho < 1.0,
+                 "scenario '" + name + "': rho must be in [0,1)");
+  }
+  for (const auto& spec : policies) make_policy(spec);  // throws if unknown
+  for (const int k : k_values) {
+    for (const double mu_i : mu_i_values) {
+      for (const double mu_e : mu_e_values) {
+        for (const int cap : elastic_caps) {
+          SystemParams p = SystemParams::from_load(k, mu_i, mu_e, 0.0);
+          p.elastic_cap = cap;
+          p.validate();
+        }
+      }
+    }
+  }
+}
+
+std::vector<RunPoint> Scenario::expand() const {
+  validate();
+  std::vector<RunPoint> points;
+  points.reserve(num_points());
+  for (const int k : k_values) {
+    for (const double rho : rho_values) {
+      for (const double mu_i : mu_i_values) {
+        for (const double mu_e : mu_e_values) {
+          for (const int cap : elastic_caps) {
+            SystemParams p = SystemParams::from_load(k, mu_i, mu_e, rho);
+            p.elastic_cap = cap;
+            for (const auto& policy : policies) {
+              for (const SolverKind solver : solvers) {
+                points.push_back(RunPoint{p, policy, solver, options});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  ESCHED_ASSERT(points.size() == num_points(),
+                "grid expansion size mismatch");
+  return points;
+}
+
+namespace {
+
+/// The 0.25-step mu grid of Figures 4 and 5.
+std::vector<double> mu_grid() {
+  std::vector<double> grid;
+  for (double mu = 0.25; mu <= 3.5 + 1e-9; mu += 0.25) grid.push_back(mu);
+  return grid;
+}
+
+}  // namespace
+
+Scenario builtin_scenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  if (name == "fig4") {
+    s.description =
+        "Fig. 4 winner maps: IF vs EF (QBD analysis) over the (mu_I, mu_E) "
+        "grid at rho = 0.5, 0.7, 0.9, k = 4";
+    s.rho_values = {0.5, 0.7, 0.9};
+    s.mu_i_values = mu_grid();
+    s.mu_e_values = mu_grid();
+    return s;
+  }
+  if (name == "fig5") {
+    s.description =
+        "Fig. 5 response-time curves: E[T] under IF and EF vs mu_I "
+        "(k = 4, mu_E = 1) at rho = 0.5, 0.7, 0.9";
+    s.rho_values = {0.5, 0.7, 0.9};
+    s.mu_i_values = mu_grid();
+    return s;
+  }
+  if (name == "fig6") {
+    s.description =
+        "Fig. 6 scaling: E[T] under IF and EF vs k = 2..16 at rho = 0.9 "
+        "for mu_I in {0.25, 3.25}, mu_E = 1";
+    s.k_values.clear();
+    for (int k = 2; k <= 16; ++k) s.k_values.push_back(k);
+    s.mu_i_values = {0.25, 3.25};
+    return s;
+  }
+  if (name == "optimality-sweep") {
+    s.description =
+        "§4 optimality check: exact truncated-CTMC E[T] for the policy "
+        "family {IF, EF, FairShare, Cap2, IF+idle1} (Thm. 5 / App. B)";
+    s.rho_values = {0.5, 0.9};
+    s.mu_i_values = {0.25, 1.0, 3.25};
+    s.policies = {"IF", "EF", "FairShare", "Cap2", "IF+idle1"};
+    s.solvers = {SolverKind::kExactCtmc};
+    s.options.truncation_epsilon = 1e-8;
+    return s;
+  }
+  throw Error("unknown scenario '" + name + "'; try one of: " + [] {
+    std::string all;
+    for (const auto& n : builtin_scenario_names()) {
+      if (!all.empty()) all += ", ";
+      all += n;
+    }
+    return all;
+  }());
+}
+
+std::vector<std::string> builtin_scenario_names() {
+  return {"fig4", "fig5", "fig6", "optimality-sweep"};
+}
+
+}  // namespace esched

@@ -1,0 +1,104 @@
+// Declarative scenario specs for the parallel sweep engine.
+//
+// Every experiment in the paper (Figs. 4-6, the §4 optimality sweeps) is a
+// parameter sweep over (k, rho, mu_I, mu_E, policy, solver). Instead of
+// each harness hand-rolling nested loops, a Scenario names the axes and
+// expand() produces the cross product as concrete RunPoints that the
+// SweepRunner executes on all cores. Built-in scenarios reproduce the
+// paper's figures; future work loads scenarios from disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/policy.hpp"
+#include "core/response_time.hpp"
+
+namespace esched {
+
+/// Which solver backend evaluates a RunPoint.
+enum class SolverKind {
+  kQbdAnalysis,  ///< §5 busy-period transformation + QBD (EF/IF only)
+  kExactCtmc,    ///< truncated 2-D chain (any policy; ground truth)
+  kSimulation,   ///< job-level discrete-event simulator
+  kMmkBaseline,  ///< dedicated-cluster M/M/k / M/M/1 closed forms
+};
+
+/// Stable identifier used in CLI flags, CSV output, and cache keys.
+const char* solver_name(SolverKind kind);
+
+/// Inverse of solver_name ("qbd", "exact", "sim", "mmk"). Throws on an
+/// unknown name.
+SolverKind parse_solver(const std::string& name);
+
+/// Builds a policy from its spec string: "IF", "EF", "FairShare", "CapN"
+/// (N a non-negative integer, e.g. "Cap2"), or "IF+idleX" (X a double
+/// number of deliberately idled servers). Throws on an unknown spec.
+PolicyPtr make_policy(const std::string& spec);
+
+/// Per-run knobs shared by every point of a scenario. All fields take part
+/// in the cache key, so changing any of them re-solves.
+struct RunOptions {
+  /// Busy-period moment-matching order for the QBD analyses.
+  BusyFitOrder fit_order = BusyFitOrder::kThreeMoment;
+  /// Exact-CTMC truncation: target boundary mass when imax/jmax are 0.
+  double truncation_epsilon = 1e-9;
+  long imax = 0;  ///< explicit inelastic truncation (0 = derive from rho)
+  long jmax = 0;  ///< explicit elastic truncation (0 = derive from rho)
+  /// Simulation controls (kSimulation only).
+  std::uint64_t sim_jobs = 200000;
+  std::uint64_t sim_warmup = 20000;
+  /// Base seed; each point derives its own deterministic seed from this
+  /// and its cache key, so results are independent of thread count.
+  std::uint64_t base_seed = 1;
+};
+
+/// One concrete (params, policy, solver) cell of a sweep.
+struct RunPoint {
+  SystemParams params;
+  std::string policy = "IF";
+  SolverKind solver = SolverKind::kQbdAnalysis;
+  RunOptions options;
+
+  /// Canonical key identifying this point for memoization: two points with
+  /// equal keys are guaranteed to produce identical results.
+  std::string cache_key() const;
+
+  /// Deterministic per-point RNG seed (FNV-1a hash of the cache key),
+  /// independent of execution order and thread count.
+  std::uint64_t seed() const;
+};
+
+/// Declarative sweep spec: expand() emits the cross product of the axes in
+/// row-major order (k, rho, mu_i, mu_e, elastic_cap, policy, solver).
+/// Arrival rates are split equally (lambda_I = lambda_E), the convention of
+/// the paper's figures, via SystemParams::from_load.
+struct Scenario {
+  std::string name = "custom";
+  std::string description;
+  std::vector<int> k_values{4};
+  std::vector<double> rho_values{0.9};
+  std::vector<double> mu_i_values{1.0};
+  std::vector<double> mu_e_values{1.0};
+  std::vector<int> elastic_caps{0};
+  std::vector<std::string> policies{"IF", "EF"};
+  std::vector<SolverKind> solvers{SolverKind::kQbdAnalysis};
+  RunOptions options;
+
+  /// Product of the axis sizes; equals expand().size().
+  std::size_t num_points() const;
+  std::vector<RunPoint> expand() const;
+
+  /// Throws esched::Error when an axis is empty or a value is invalid
+  /// (unknown policy, unstable rho >= 1, ...).
+  void validate() const;
+};
+
+/// Named built-in scenarios: "fig4", "fig5", "fig6", "optimality-sweep".
+/// Throws on an unknown name.
+Scenario builtin_scenario(const std::string& name);
+std::vector<std::string> builtin_scenario_names();
+
+}  // namespace esched

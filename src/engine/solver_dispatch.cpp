@@ -1,0 +1,121 @@
+#include "engine/solver_dispatch.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/if_analysis.hpp"
+#include "queueing/mmk.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace esched {
+
+namespace {
+
+RunResult run_qbd_analysis(const RunPoint& point) {
+  ESCHED_CHECK(point.params.elastic_cap == 0,
+               "the QBD analyses cover only the base model (elastic_cap 0)");
+  ResponseTimeAnalysis analysis;
+  if (point.policy == "EF") {
+    analysis = analyze_elastic_first(point.params, point.options.fit_order);
+  } else if (point.policy == "IF") {
+    analysis = analyze_inelastic_first(point.params, point.options.fit_order);
+  } else {
+    throw Error("solver 'qbd' analyzes only IF and EF, not '" + point.policy +
+                "'; use solver 'exact' or 'sim' for other policies");
+  }
+  RunResult result;
+  result.mean_response_time = analysis.mean_response_time;
+  result.mean_response_time_i = analysis.mean_response_time_i;
+  result.mean_response_time_e = analysis.mean_response_time_e;
+  result.mean_jobs_i = analysis.mean_jobs_i;
+  result.mean_jobs_e = analysis.mean_jobs_e;
+  result.solver_iterations = analysis.qbd_iterations;
+  result.solve_residual = analysis.qbd_spectral_radius;
+  return result;
+}
+
+RunResult run_exact_ctmc(const RunPoint& point) {
+  ExactCtmcOptions options;
+  const long derived =
+      suggested_truncation(point.params.rho(), point.options.truncation_epsilon);
+  options.imax = point.options.imax > 0 ? point.options.imax : derived;
+  options.jmax = point.options.jmax > 0 ? point.options.jmax : derived;
+  const auto policy = make_policy(point.policy);
+  const ExactCtmcResult exact =
+      solve_exact_ctmc(point.params, *policy, options);
+  RunResult result;
+  result.mean_response_time = exact.mean_response_time;
+  result.mean_response_time_i = exact.mean_response_time_i;
+  result.mean_response_time_e = exact.mean_response_time_e;
+  result.mean_jobs_i = exact.mean_jobs_i;
+  result.mean_jobs_e = exact.mean_jobs_e;
+  result.boundary_mass = exact.boundary_mass;
+  result.solver_iterations = exact.solve_info.iterations;
+  result.solve_residual = exact.solve_info.residual;
+  return result;
+}
+
+RunResult run_simulation(const RunPoint& point) {
+  SimOptions options;
+  options.num_jobs = point.options.sim_jobs;
+  options.warmup_jobs = point.options.sim_warmup;
+  options.seed = point.seed();
+  const auto policy = make_policy(point.policy);
+  const SimResult sim = simulate(point.params, *policy, options);
+  RunResult result;
+  result.mean_response_time = sim.mean_response_time.mean;
+  result.mean_response_time_i = sim.inelastic.response_time.mean;
+  result.mean_response_time_e = sim.elastic.response_time.mean;
+  result.mean_jobs_i = sim.mean_jobs_i;
+  result.mean_jobs_e = sim.mean_jobs_e;
+  result.ci_halfwidth = sim.mean_response_time.half_width;
+  return result;
+}
+
+/// Dedicated-cluster baseline: each class alone on the k servers.
+/// Inelastic jobs form an M/M/k; a fully elastic class forms an M/M/1 with
+/// service rate k mu_E (every elastic job can take all servers). A lower
+/// bound useful for sanity-checking the shared-cluster policies.
+RunResult run_mmk_baseline(const RunPoint& point) {
+  const SystemParams& p = point.params;
+  ESCHED_CHECK(p.elastic_cap == 0,
+               "the M/M/k baseline assumes fully elastic jobs");
+  RunResult result;
+  if (p.lambda_i > 0.0) {
+    const MMk inelastic(p.lambda_i, p.mu_i, p.k);
+    result.mean_response_time_i = inelastic.mean_response_time();
+    result.mean_jobs_i = inelastic.mean_jobs();
+  }
+  if (p.lambda_e > 0.0) {
+    const MMk elastic(p.lambda_e, static_cast<double>(p.k) * p.mu_e, 1);
+    result.mean_response_time_e = elastic.mean_response_time();
+    result.mean_jobs_e = elastic.mean_jobs();
+  }
+  const double total = p.lambda_i + p.lambda_e;
+  ESCHED_CHECK(total > 0.0, "baseline requires some arrivals");
+  result.mean_response_time =
+      (result.mean_jobs_i + result.mean_jobs_e) / total;
+  return result;
+}
+
+}  // namespace
+
+RunResult dispatch_run(const RunPoint& point) {
+  point.params.validate();
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result;
+  switch (point.solver) {
+    case SolverKind::kQbdAnalysis: result = run_qbd_analysis(point); break;
+    case SolverKind::kExactCtmc: result = run_exact_ctmc(point); break;
+    case SolverKind::kSimulation: result = run_simulation(point); break;
+    case SolverKind::kMmkBaseline: result = run_mmk_baseline(point); break;
+  }
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace esched

@@ -1,0 +1,54 @@
+// Unified solver dispatch: one entry point that routes a RunPoint to the
+// right backend (QBD analysis, exact truncated CTMC, discrete-event
+// simulation, or the M/M/k closed forms) and normalizes the output into a
+// single RunResult shape, so sweeps can mix solvers freely and reports
+// never care which backend produced a row.
+#pragma once
+
+#include "engine/scenario.hpp"
+
+namespace esched {
+
+/// Uniform per-point output across all solver backends. Fields a backend
+/// does not produce stay at their zero defaults.
+struct RunResult {
+  double mean_response_time = 0.0;    ///< overall E[T]
+  double mean_response_time_i = 0.0;  ///< inelastic E[T]
+  double mean_response_time_e = 0.0;  ///< elastic E[T]
+  double mean_jobs_i = 0.0;           ///< E[N_I]
+  double mean_jobs_e = 0.0;           ///< E[N_E]
+
+  /// Simulation only: half-width of the 95% CI on overall E[T].
+  double ci_halfwidth = 0.0;
+  /// Exact CTMC only: stationary mass on the truncation boundary.
+  double boundary_mass = 0.0;
+
+  // Solver cost, recorded per point.
+  int solver_iterations = 0;    ///< SOR sweeps or QBD fixed-point iterations
+  double solve_residual = 0.0;  ///< stationary residual / spectral radius
+  double solve_seconds = 0.0;   ///< wall time of this point's solve
+  bool from_cache = false;      ///< set by the sweep runner on memo hits
+
+  /// The fields that define a point's *answer* — everything except wall
+  /// time (solve_seconds) and cache provenance (from_cache) — for bitwise
+  /// determinism comparisons.
+  friend bool numerically_equal(const RunResult& a, const RunResult& b) {
+    return a.mean_response_time == b.mean_response_time &&
+           a.mean_response_time_i == b.mean_response_time_i &&
+           a.mean_response_time_e == b.mean_response_time_e &&
+           a.mean_jobs_i == b.mean_jobs_i && a.mean_jobs_e == b.mean_jobs_e &&
+           a.ci_halfwidth == b.ci_halfwidth &&
+           a.boundary_mass == b.boundary_mass &&
+           a.solver_iterations == b.solver_iterations &&
+           a.solve_residual == b.solve_residual;
+  }
+};
+
+/// Solves one point with its chosen backend. Pure apart from wall-clock
+/// timing: equal cache_key() implies numerically_equal results, which is
+/// what makes memoization and multi-threaded determinism sound. Throws
+/// esched::Error on invalid combinations (e.g. the QBD analyses support
+/// only EF/IF on the base model).
+RunResult dispatch_run(const RunPoint& point);
+
+}  // namespace esched

@@ -1,0 +1,121 @@
+#include "engine/sweep_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+std::optional<RunResult> ResultCache::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::insert(const std::string& key, const RunResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.insert_or_assign(key, result);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.clear();
+}
+
+SweepRunner::SweepRunner(int num_threads) : num_threads_(num_threads) {
+  ESCHED_CHECK(num_threads >= 0, "thread count must be >= 0");
+  if (num_threads_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
+                                        SweepStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Deduplicate: first occurrence of each uncached key becomes a job, so a
+  // point repeated across figure axes solves exactly once.
+  std::vector<std::string> keys;
+  keys.reserve(points.size());
+  std::vector<std::size_t> jobs;  // indices into `points` to solve now
+  std::unordered_map<std::string, std::size_t> seen;
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    keys.push_back(points[n].cache_key());
+    if (seen.count(keys.back()) != 0 || cache_.lookup(keys.back())) continue;
+    seen.emplace(keys.back(), n);
+    jobs.push_back(n);
+  }
+
+  // Fan the unique jobs over the pool via an atomic work index. Each job is
+  // independent and pure, so completion order cannot affect the results.
+  std::atomic<std::size_t> next_job{0};
+  std::mutex error_mutex;
+  std::string first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t job = next_job.fetch_add(1);
+      if (job >= jobs.size()) return;
+      const std::size_t n = jobs[job];
+      try {
+        cache_.insert(keys[n], dispatch_run(points[n]));
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.empty()) {
+          first_error = "sweep point '" + keys[n] + "' failed: " + e.what();
+        }
+      }
+    }
+  };
+  const int pool_size =
+      static_cast<int>(std::min<std::size_t>(jobs.size(),
+                                             static_cast<std::size_t>(num_threads_)));
+  if (pool_size <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(pool_size));
+    for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (!first_error.empty()) throw Error(first_error);
+
+  std::vector<RunResult> results;
+  results.reserve(points.size());
+  std::unordered_map<std::string, bool> solved_now;
+  for (const std::size_t n : jobs) solved_now.emplace(keys[n], true);
+  std::size_t cache_hits = 0;
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    auto cached = cache_.lookup(keys[n]);
+    ESCHED_ASSERT(cached.has_value(), "sweep result missing from cache");
+    RunResult result = *cached;
+    // The first solve of a point this call is fresh; everything else —
+    // intra-call duplicates and prior-call results — is a cache hit.
+    const auto it = solved_now.find(keys[n]);
+    result.from_cache = it == solved_now.end() || !it->second;
+    if (it != solved_now.end()) it->second = false;
+    if (result.from_cache) ++cache_hits;
+    results.push_back(result);
+  }
+
+  if (stats != nullptr) {
+    stats->total_points = points.size();
+    stats->solved_points = jobs.size();
+    stats->cache_hits = cache_hits;
+    stats->threads_used = pool_size;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return results;
+}
+
+}  // namespace esched

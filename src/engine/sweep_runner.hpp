@@ -1,0 +1,68 @@
+// Parallel sweep execution with memoization.
+//
+// The runner takes a flat list of RunPoints (typically Scenario::expand()),
+// deduplicates them by cache key, solves the missing unique points on a
+// std::thread worker pool, and returns results in input order. A
+// mutex-guarded cache persists across run() calls, so repeated points —
+// e.g. shared rho-axis baselines across figures — solve exactly once per
+// process. Results are deterministic in the thread count: each point's
+// solve is pure and its RNG seed derives from its cache key, never from
+// scheduling order.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/solver_dispatch.hpp"
+
+namespace esched {
+
+/// Thread-safe memoization cache keyed on RunPoint::cache_key().
+class ResultCache {
+ public:
+  std::optional<RunResult> lookup(const std::string& key) const;
+  void insert(const std::string& key, const RunResult& result);
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, RunResult> results_;
+};
+
+/// Bookkeeping for one run() call.
+struct SweepStats {
+  std::size_t total_points = 0;   ///< points requested
+  std::size_t solved_points = 0;  ///< unique points actually solved now
+  std::size_t cache_hits = 0;     ///< points served from the memo cache
+  double wall_seconds = 0.0;      ///< end-to-end wall time of run()
+  int threads_used = 0;
+};
+
+/// Executes RunPoints on a worker pool of `num_threads` threads
+/// (0 = std::thread::hardware_concurrency()).
+class SweepRunner {
+ public:
+  explicit SweepRunner(int num_threads = 0);
+
+  /// Solves every point (consulting/filling the cache) and returns results
+  /// in input order. `from_cache` is set on results that were memoized —
+  /// including intra-call duplicates, which solve once. If any point's
+  /// solve throws, the first error is re-thrown after all workers join;
+  /// successfully solved points stay cached.
+  std::vector<RunResult> run(const std::vector<RunPoint>& points,
+                             SweepStats* stats = nullptr);
+
+  int num_threads() const { return num_threads_; }
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  int num_threads_;
+  ResultCache cache_;
+};
+
+}  // namespace esched

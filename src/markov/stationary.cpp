@@ -95,6 +95,9 @@ Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
       }
     }
   }
+  // On non-convergence the for-loop increment leaves the counter one past
+  // the last sweep actually performed; clamp so callers see the true work.
+  local.iterations = std::min(local.iterations, max_iters);
   if (info != nullptr) *info = local;
   return pi;
 }
@@ -127,6 +130,7 @@ Vector power_stationary(const SparseCtmc& chain, double tol, int max_iters,
       break;
     }
   }
+  local.iterations = std::min(local.iterations, max_iters);
   normalize_probability(pi);
   local.residual = stationary_residual(chain, pi);
   if (info != nullptr) *info = local;

@@ -1,0 +1,280 @@
+// Tests for the scenario-sweep engine: grid expansion, solver dispatch
+// consistency against the underlying backends, memoization behavior, and
+// thread-count determinism (a multi-thread sweep must be bit-identical to
+// a single-thread sweep).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/ef_analysis.hpp"
+#include "core/exact_ctmc.hpp"
+#include "core/policies.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/solver_dispatch.hpp"
+#include "engine/sweep_runner.hpp"
+#include "queueing/mmk.hpp"
+
+namespace esched {
+namespace {
+
+/// A small mixed-solver scenario that exercises every backend cheaply.
+Scenario small_scenario() {
+  Scenario s;
+  s.name = "test";
+  s.k_values = {2, 4};
+  s.rho_values = {0.5, 0.7};
+  s.mu_i_values = {0.5, 1.0, 2.0};
+  s.mu_e_values = {1.0};
+  s.policies = {"IF", "EF"};
+  s.solvers = {SolverKind::kQbdAnalysis, SolverKind::kMmkBaseline};
+  return s;
+}
+
+TEST(Scenario, GridExpansionCount) {
+  const Scenario s = small_scenario();
+  EXPECT_EQ(s.num_points(), 2u * 2u * 3u * 1u * 1u * 2u * 2u);
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), s.num_points());
+  // Row-major order: solver varies fastest, then policy, then the axes.
+  EXPECT_EQ(points[0].params.k, 2);
+  EXPECT_EQ(points[0].policy, "IF");
+  EXPECT_EQ(points[0].solver, SolverKind::kQbdAnalysis);
+  EXPECT_EQ(points[1].policy, "IF");
+  EXPECT_EQ(points[1].solver, SolverKind::kMmkBaseline);
+  EXPECT_EQ(points[2].policy, "EF");
+  EXPECT_EQ(points.back().params.k, 4);
+  EXPECT_NEAR(points.back().params.rho(), 0.7, 1e-12);
+  // lambda_I == lambda_E by the paper's convention.
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.params.lambda_i, point.params.lambda_e);
+  }
+}
+
+TEST(Scenario, ValidateRejectsBadAxes) {
+  Scenario s = small_scenario();
+  s.policies.clear();
+  EXPECT_THROW(s.expand(), Error);
+  s = small_scenario();
+  s.rho_values = {1.2};
+  EXPECT_THROW(s.expand(), Error);
+  s = small_scenario();
+  s.policies = {"NotAPolicy"};
+  EXPECT_THROW(s.expand(), Error);
+}
+
+TEST(Scenario, BuiltinsExpandToExpectedSizes) {
+  for (const auto& name : builtin_scenario_names()) {
+    EXPECT_NO_THROW(builtin_scenario(name).expand()) << name;
+  }
+  EXPECT_EQ(builtin_scenario("fig4").num_points(), 3u * 14u * 14u * 2u);
+  EXPECT_EQ(builtin_scenario("fig5").num_points(), 3u * 14u * 2u);
+  EXPECT_EQ(builtin_scenario("fig6").num_points(), 15u * 2u * 2u);
+  EXPECT_THROW(builtin_scenario("no-such-scenario"), Error);
+}
+
+TEST(Scenario, CacheKeyDistinguishesAndMatches) {
+  const auto points = small_scenario().expand();
+  RunPoint a = points[0];
+  RunPoint b = points[0];
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.seed(), b.seed());
+  b.policy = "EF";
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  b = a;
+  b.options.base_seed = 2;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(Scenario, MakePolicyParsesSpecs) {
+  EXPECT_EQ(make_policy("IF")->name(), make_inelastic_first()->name());
+  EXPECT_EQ(make_policy("EF")->name(), make_elastic_first()->name());
+  EXPECT_EQ(make_policy("Cap2")->name(), make_inelastic_cap(2)->name());
+  EXPECT_EQ(make_policy("IF+idle1")->name(),
+            make_idling(make_inelastic_first(), 1.0)->name());
+  EXPECT_THROW(make_policy("CapX"), Error);
+  EXPECT_THROW(make_policy("bogus"), Error);
+}
+
+TEST(Scenario, SolverNamesRoundTrip) {
+  for (const SolverKind kind :
+       {SolverKind::kQbdAnalysis, SolverKind::kExactCtmc,
+        SolverKind::kSimulation, SolverKind::kMmkBaseline}) {
+    EXPECT_EQ(parse_solver(solver_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_solver("fancy"), Error);
+}
+
+TEST(Dispatch, QbdMatchesDirectAnalysis) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.7);
+  const RunPoint point{p, "EF", SolverKind::kQbdAnalysis, {}};
+  const RunResult result = dispatch_run(point);
+  const ResponseTimeAnalysis direct = analyze_elastic_first(p);
+  EXPECT_DOUBLE_EQ(result.mean_response_time, direct.mean_response_time);
+  EXPECT_DOUBLE_EQ(result.mean_jobs_i, direct.mean_jobs_i);
+  EXPECT_EQ(result.solver_iterations, direct.qbd_iterations);
+}
+
+TEST(Dispatch, ExactMatchesDirectSolveAndReportsSolveInfo) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  RunPoint point{p, "FairShare", SolverKind::kExactCtmc, {}};
+  point.options.imax = point.options.jmax = 40;
+  const RunResult result = dispatch_run(point);
+  ExactCtmcOptions options;
+  options.imax = options.jmax = 40;
+  const ExactCtmcResult direct =
+      solve_exact_ctmc(p, *make_fair_share(), options);
+  EXPECT_DOUBLE_EQ(result.mean_response_time, direct.mean_response_time);
+  EXPECT_DOUBLE_EQ(result.boundary_mass, direct.boundary_mass);
+  // 41x41 states > gth_state_limit, so the SOR path ran and its cost must
+  // surface through the result (the satellite fix this PR ships).
+  EXPECT_GT(result.solver_iterations, 0);
+  EXPECT_LT(result.solve_residual, 1e-11);
+  EXPECT_TRUE(direct.solve_info.converged);
+}
+
+TEST(Dispatch, GthPathReportsConvergedSolveInfo) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  ExactCtmcOptions options;
+  options.imax = options.jmax = 15;  // 256 states <= gth_state_limit
+  const ExactCtmcResult direct =
+      solve_exact_ctmc(p, *make_inelastic_first(), options);
+  EXPECT_TRUE(direct.solve_info.converged);
+  EXPECT_EQ(direct.solve_info.iterations, 0);
+  EXPECT_LT(direct.solve_info.residual, 1e-10);
+}
+
+TEST(Dispatch, MmkBaselineMatchesClosedForms) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.6);
+  const RunPoint point{p, "IF", SolverKind::kMmkBaseline, {}};
+  const RunResult result = dispatch_run(point);
+  const MMk inelastic(p.lambda_i, p.mu_i, p.k);
+  EXPECT_DOUBLE_EQ(result.mean_response_time_i,
+                   inelastic.mean_response_time());
+  const MMk elastic(p.lambda_e, p.k * p.mu_e, 1);
+  EXPECT_DOUBLE_EQ(result.mean_response_time_e, elastic.mean_response_time());
+}
+
+TEST(Dispatch, RejectsInvalidCombinations) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.5);
+  // The QBD analyses cover only IF and EF on the base model.
+  EXPECT_THROW(
+      dispatch_run(RunPoint{p, "FairShare", SolverKind::kQbdAnalysis, {}}),
+      Error);
+  SystemParams capped = p;
+  capped.elastic_cap = 1;
+  EXPECT_THROW(
+      dispatch_run(RunPoint{capped, "EF", SolverKind::kQbdAnalysis, {}}),
+      Error);
+}
+
+TEST(SweepRunner, CacheHitsWithinAndAcrossRuns) {
+  Scenario s = small_scenario();
+  s.solvers = {SolverKind::kQbdAnalysis};
+  const auto base = s.expand();
+  const std::size_t unique = base.size();
+  // Duplicate every point: the duplicates must be served from cache.
+  auto points = base;
+  points.insert(points.end(), base.begin(), base.end());
+
+  SweepRunner runner(2);
+  SweepStats stats;
+  const auto first = runner.run(points, &stats);
+  EXPECT_EQ(stats.total_points, 2 * unique);
+  EXPECT_EQ(stats.solved_points, unique);
+  EXPECT_EQ(stats.cache_hits, unique);
+  EXPECT_EQ(runner.cache().size(), unique);
+  for (std::size_t n = 0; n < unique; ++n) {
+    EXPECT_FALSE(first[n].from_cache);
+    EXPECT_TRUE(first[n + unique].from_cache);
+    EXPECT_TRUE(numerically_equal(first[n], first[n + unique]));
+  }
+
+  // A second run over the same points is all cache hits.
+  SweepStats again;
+  const auto second = runner.run(points, &again);
+  EXPECT_EQ(again.solved_points, 0u);
+  EXPECT_EQ(again.cache_hits, 2 * unique);
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    EXPECT_TRUE(second[n].from_cache);
+    EXPECT_TRUE(numerically_equal(first[n], second[n]));
+  }
+}
+
+TEST(SweepRunner, MultiThreadSweepIsBitIdenticalToSingleThread) {
+  // Mix all four backends, including seeded simulation, and require the
+  // 4-thread pool to reproduce the 1-thread results bit for bit.
+  Scenario s = small_scenario();
+  s.k_values = {2};
+  s.mu_i_values = {0.5, 1.0, 2.0};
+  s.solvers = {SolverKind::kQbdAnalysis, SolverKind::kExactCtmc,
+               SolverKind::kSimulation, SolverKind::kMmkBaseline};
+  s.options.imax = s.options.jmax = 30;
+  s.options.sim_jobs = 4000;
+  s.options.sim_warmup = 400;
+  const auto points = s.expand();
+
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto serial_results = serial.run(points);
+  const auto parallel_results = parallel.run(points);
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    EXPECT_TRUE(numerically_equal(serial_results[n], parallel_results[n]))
+        << "point " << points[n].cache_key();
+  }
+}
+
+TEST(SweepRunner, PropagatesSolverErrors) {
+  SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  std::vector<RunPoint> points = {
+      {p, "IF", SolverKind::kQbdAnalysis, {}},
+      {p, "FairShare", SolverKind::kQbdAnalysis, {}},  // invalid combo
+  };
+  SweepRunner runner(2);
+  EXPECT_THROW(runner.run(points), Error);
+  // The valid point still landed in the cache.
+  EXPECT_EQ(runner.cache().size(), 1u);
+}
+
+TEST(Report, CsvAndJsonRoundTrip) {
+  Scenario s = small_scenario();
+  s.k_values = {2};
+  s.rho_values = {0.5};
+  s.solvers = {SolverKind::kQbdAnalysis};
+  const auto points = s.expand();
+  SweepRunner runner(1);
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+
+  const std::string csv_path = testing::TempDir() + "engine_report.csv";
+  write_csv_report(csv_path, points, results);
+  std::ifstream csv(csv_path);
+  std::string line;
+  std::getline(csv, line);
+  EXPECT_NE(line.find("policy"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, points.size());
+  std::remove(csv_path.c_str());
+
+  const std::string json_path = testing::TempDir() + "engine_report.json";
+  write_json_report(json_path, points, results, &stats);
+  std::stringstream json;
+  json << std::ifstream(json_path).rdbuf();
+  EXPECT_NE(json.str().find("\"points\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"stats\""), std::string::npos);
+  std::remove(json_path.c_str());
+
+  std::ostringstream summary;
+  print_sweep_summary(summary, points, results, stats, 2);
+  EXPECT_NE(summary.str().find("more rows"), std::string::npos);
+  EXPECT_NE(summary.str().find("cache hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esched

@@ -73,6 +73,27 @@ TEST(Stationary, SorAgreesWithGth) {
   }
 }
 
+TEST(Stationary, SorReportsTrueIterationCountOnNonConvergence) {
+  // An unreachably tight tolerance forces the iteration budget to run out;
+  // the reported count must equal the sweeps actually performed, not
+  // max_iters + 1 (the loop-exit off-by-one this guards against).
+  const SparseCtmc chain = mm1_chain(40, 0.7, 1.0);
+  const int max_iters = 25;
+  StationarySolveInfo info;
+  sor_stationary(chain, 1e-30, max_iters, 1.0, &info);
+  EXPECT_FALSE(info.converged);
+  EXPECT_EQ(info.iterations, max_iters);
+}
+
+TEST(Stationary, PowerIterationReportsTrueIterationCountOnNonConvergence) {
+  const SparseCtmc chain = mm1_chain(40, 0.7, 1.0);
+  const int max_iters = 10;
+  StationarySolveInfo info;
+  power_stationary(chain, 1e-30, max_iters, &info);
+  EXPECT_FALSE(info.converged);
+  EXPECT_EQ(info.iterations, max_iters);
+}
+
 TEST(Stationary, PowerIterationAgreesWithGth) {
   const SparseCtmc chain = mm1_chain(30, 0.5, 1.0);
   const Vector exact = gth_stationary(chain);

@@ -1,0 +1,166 @@
+// `esched` — the scenario-sweep CLI.
+//
+// Runs named built-in scenarios (the paper's figures and sweeps) through
+// the parallel engine and writes uniform CSV/JSON reports:
+//
+//   esched list
+//   esched fig6 --threads 4
+//   esched fig4 fig5 --threads 8 --json out.json
+//
+// Scenarios named in one invocation share the memoization cache, so
+// overlapping grids (e.g. fig5 is a slice of fig4) solve once.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: esched <scenario>... [options]\n"
+      "       esched list\n"
+      "\n"
+      "options:\n"
+      "  --threads N    worker threads (default: all hardware threads)\n"
+      "  --seed S       base RNG seed for simulation points (default: 1)\n"
+      "  --sim-jobs N   measured completions per simulation point\n"
+      "  --out PATH     CSV output path (default: <scenario>.csv)\n"
+      "  --json PATH    also write a JSON report\n"
+      "  --rows N       summary rows printed per scenario (default: 20)\n");
+}
+
+void print_scenarios() {
+  std::printf("built-in scenarios:\n");
+  for (const auto& name : esched::builtin_scenario_names()) {
+    const esched::Scenario s = esched::builtin_scenario(name);
+    std::printf("  %-18s %4zu points  %s\n", name.c_str(), s.num_points(),
+                s.description.c_str());
+  }
+}
+
+long parse_long(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0) {
+    throw esched::Error(std::string(flag) + " expects a non-negative integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> scenarios;
+  int threads = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t sim_jobs = 0;
+  std::string out_path;
+  std::string json_path;
+  std::size_t summary_rows = 20;
+
+  try {
+    for (int n = 1; n < argc; ++n) {
+      const std::string arg = argv[n];
+      const auto next_value = [&](const char* flag) -> std::string {
+        if (n + 1 >= argc) {
+          throw esched::Error(std::string(flag) + " expects a value");
+        }
+        return argv[++n];
+      };
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      } else if (arg == "list") {
+        print_scenarios();
+        return 0;
+      } else if (arg == "--threads") {
+        threads =
+            static_cast<int>(parse_long("--threads", next_value("--threads")));
+      } else if (arg == "--seed") {
+        seed = static_cast<std::uint64_t>(
+            parse_long("--seed", next_value("--seed")));
+      } else if (arg == "--sim-jobs") {
+        sim_jobs = static_cast<std::uint64_t>(
+            parse_long("--sim-jobs", next_value("--sim-jobs")));
+      } else if (arg == "--out") {
+        out_path = next_value("--out");
+      } else if (arg == "--json") {
+        json_path = next_value("--json");
+      } else if (arg == "--rows") {
+        summary_rows = static_cast<std::size_t>(
+            parse_long("--rows", next_value("--rows")));
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw esched::Error("unknown option '" + arg + "'");
+      } else {
+        scenarios.push_back(arg);
+      }
+    }
+    if (scenarios.empty()) {
+      print_usage();
+      std::printf("\n");
+      print_scenarios();
+      return 1;
+    }
+
+    esched::SweepRunner runner(threads);
+    // --out/--json collect every scenario into ONE combined report (the
+    // schema is uniform across solvers); without --out each scenario
+    // writes its own <name>.csv.
+    std::vector<esched::RunPoint> all_points;
+    std::vector<esched::RunResult> all_results;
+    esched::SweepStats combined;
+    combined.threads_used = runner.num_threads();
+    for (const auto& name : scenarios) {
+      esched::Scenario scenario = esched::builtin_scenario(name);
+      scenario.options.base_seed = seed;
+      if (sim_jobs > 0) scenario.options.sim_jobs = sim_jobs;
+
+      std::printf("=== scenario %s: %s ===\n", scenario.name.c_str(),
+                  scenario.description.c_str());
+      const auto points = scenario.expand();
+      esched::SweepStats stats;
+      const auto results = runner.run(points, &stats);
+      esched::print_sweep_summary(std::cout, points, results, stats,
+                                  summary_rows);
+
+      if (out_path.empty()) {
+        const std::string csv_path = scenario.name + ".csv";
+        esched::write_csv_report(csv_path, points, results);
+        std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), points.size());
+      }
+      if (!out_path.empty() || !json_path.empty()) {
+        all_points.insert(all_points.end(), points.begin(), points.end());
+        all_results.insert(all_results.end(), results.begin(), results.end());
+        combined.total_points += stats.total_points;
+        combined.solved_points += stats.solved_points;
+        combined.cache_hits += stats.cache_hits;
+        combined.wall_seconds += stats.wall_seconds;
+      }
+      std::printf("\n");
+    }
+    if (!out_path.empty()) {
+      esched::write_csv_report(out_path, all_points, all_results);
+      std::printf("wrote %s (%zu rows, %zu scenario%s)\n", out_path.c_str(),
+                  all_points.size(), scenarios.size(),
+                  scenarios.size() == 1 ? "" : "s");
+    }
+    if (!json_path.empty()) {
+      esched::write_json_report(json_path, all_points, all_results,
+                                &combined);
+      std::printf("wrote %s (%zu rows, %zu scenario%s)\n", json_path.c_str(),
+                  all_points.size(), scenarios.size(),
+                  scenarios.size() == 1 ? "" : "s");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esched: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
