@@ -4,77 +4,27 @@
 // fits and reports each variant's error against the exact truncated
 // chain. Expected: errors shrink by orders of magnitude with each added
 // moment, justifying the design choice.
+//
+// Thin wrapper over the sweep engine: the fit-order axis is the engine's
+// built-in "ablation-coxian" scenario (the exact chain ignores the fit
+// order, so its canonical cache key collapses the axis to one solve per
+// case x policy), rendered by the shared "fit-order" report view.
 #include <cstdio>
 #include <iostream>
 
-#include "common/numeric.hpp"
-#include "common/table.hpp"
-#include "core/ef_analysis.hpp"
-#include "core/exact_ctmc.hpp"
-#include "core/if_analysis.hpp"
-#include "core/policies.hpp"
-#include "stats/accumulator.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
   std::printf("=== Ablation: busy-period fit order (exponential / 2-moment "
               "/ 3-moment Coxian) vs exact chain ===\n");
-  Table table({"k", "mu_I", "mu_E", "rho", "policy", "err 1-moment",
-               "err 2-moment", "err 3-moment"});
-
-  const struct {
-    int k;
-    double mu_i, mu_e, rho;
-  } settings[] = {{4, 1.0, 1.0, 0.5},  {4, 1.0, 1.0, 0.9},
-                  {4, 0.25, 1.0, 0.7}, {4, 3.25, 1.0, 0.7},
-                  {8, 1.0, 1.0, 0.8},  {2, 2.0, 1.0, 0.9}};
-  Accumulator err1_acc, err2_acc, err3_acc;
-  for (const auto& s : settings) {
-    const SystemParams p =
-        SystemParams::from_load(s.k, s.mu_i, s.mu_e, s.rho);
-    ExactCtmcOptions opt;
-    opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
-    const struct {
-      const char* name;
-      double exact;
-      double v1, v2, v3;
-    } rows[] = {
-        {"EF",
-         solve_exact_ctmc(p, ElasticFirst{}, opt).mean_response_time,
-         analyze_elastic_first(p, BusyFitOrder::kOneMoment)
-             .mean_response_time,
-         analyze_elastic_first(p, BusyFitOrder::kTwoMoment)
-             .mean_response_time,
-         analyze_elastic_first(p, BusyFitOrder::kThreeMoment)
-             .mean_response_time},
-        {"IF",
-         solve_exact_ctmc(p, InelasticFirst{}, opt).mean_response_time,
-         analyze_inelastic_first(p, BusyFitOrder::kOneMoment)
-             .mean_response_time,
-         analyze_inelastic_first(p, BusyFitOrder::kTwoMoment)
-             .mean_response_time,
-         analyze_inelastic_first(p, BusyFitOrder::kThreeMoment)
-             .mean_response_time},
-    };
-    for (const auto& row : rows) {
-      const double e1 = relative_error(row.v1, row.exact);
-      const double e2 = relative_error(row.v2, row.exact);
-      const double e3 = relative_error(row.v3, row.exact);
-      err1_acc.add(e1);
-      err2_acc.add(e2);
-      err3_acc.add(e3);
-      table.add_row({std::to_string(s.k), format_double(s.mu_i),
-                     format_double(s.mu_e), format_double(s.rho), row.name,
-                     format_double(100.0 * e1, 3) + "%",
-                     format_double(100.0 * e2, 3) + "%",
-                     format_double(100.0 * e3, 3) + "%"});
-    }
-  }
-  table.print(std::cout);
-  std::printf("\nmean error: 1-moment %.3f%%, 2-moment %.3f%%, 3-moment "
-              "%.4f%% — each extra busy-period moment buys roughly an "
-              "order of magnitude, which is why §5.2 matches three.\n",
-              100.0 * err1_acc.mean(), 100.0 * err2_acc.mean(),
-              100.0 * err3_acc.mean());
+  const Scenario scenario = builtin_scenario("ablation-coxian");
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  print_view("fit-order", std::cout, scenario, points, results, stats);
   return 0;
 }

@@ -4,53 +4,28 @@
 // why suggested_truncation() scales like log(eps)/log(rho) and (b) the
 // cost the QBD analysis avoids entirely — its error is flat and its cost
 // does not grow with rho.
-#include <chrono>
+//
+// Thin wrapper over the sweep engine: the truncation axis (last level =
+// the deep reference) is the engine's built-in "ablation-truncation"
+// scenario, rendered by the shared "truncation" report view.
 #include <cstdio>
 #include <iostream>
 
-#include "common/numeric.hpp"
-#include "common/table.hpp"
-#include "core/exact_ctmc.hpp"
-#include "core/if_analysis.hpp"
-#include "core/policies.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  std::printf("=== Ablation: exact-solver truncation level (k = 4, mu_I = "
-              "mu_E = 1) ===\n");
-  for (double rho : {0.7, 0.9}) {
-    const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, rho);
-    ExactCtmcOptions deep;
-    deep.imax = deep.jmax = 400;
-    const double reference =
-        solve_exact_ctmc(p, InelasticFirst{}, deep).mean_response_time;
-    const double qbd = analyze_inelastic_first(p).mean_response_time;
-
-    Table table({"truncation", "states", "E[T]", "rel err", "boundary mass",
-                 "solve ms"});
-    for (long trunc : {10L, 20L, 40L, 80L, 160L}) {
-      ExactCtmcOptions opt;
-      opt.imax = opt.jmax = trunc;
-      const auto start = std::chrono::steady_clock::now();
-      const ExactCtmcResult r = solve_exact_ctmc(p, InelasticFirst{}, opt);
-      const double ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count();
-      table.add_row({std::to_string(trunc), std::to_string(r.num_states),
-                     format_double(r.mean_response_time),
-                     format_double(
-                         relative_error(r.mean_response_time, reference), 3),
-                     format_double(r.boundary_mass, 3),
-                     format_double(ms, 4)});
-    }
-    std::printf("\n--- rho = %.1f (reference E[T] = %.6f at truncation 400; "
-                "suggested_truncation = %ld; QBD analysis = %.6f, err "
-                "%.4f%%, ~0.1 ms) ---\n",
-                rho, reference, suggested_truncation(rho, 1e-10),
-                qbd, 100.0 * relative_error(qbd, reference));
-    table.print(std::cout);
-  }
+  const Scenario scenario = builtin_scenario("ablation-truncation");
+  std::printf("=== Ablation: exact-solver truncation level (k = %d, mu_I = "
+              "mu_E = 1) ===\n",
+              scenario.cases.front().k);
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  print_view("truncation", std::cout, scenario, points, results, stats);
   std::printf("\nAt rho = 0.9 a tight truncation (10-20 levels) biases "
               "E[T] by percent-level amounts while costing more than the "
               "QBD analysis — the paper's argument against truncated-MDP "

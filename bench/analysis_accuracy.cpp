@@ -4,70 +4,26 @@
 // parameter space it compares the QBD analysis against (a) the exact
 // truncated 2-D chain and (b) stochastic simulation, reporting relative
 // errors for both EF and IF.
+//
+// Thin wrapper over the sweep engine: the spot grid is the engine's
+// built-in "analysis-accuracy" scenario (one point per case x policy x
+// {qbd, exact, sim}), rendered by the shared "accuracy" report view.
 #include <cstdio>
 #include <iostream>
 
-#include "common/numeric.hpp"
-#include "common/table.hpp"
-#include "core/ef_analysis.hpp"
-#include "core/exact_ctmc.hpp"
-#include "core/if_analysis.hpp"
-#include "core/policies.hpp"
-#include "sim/cluster_sim.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
   std::printf("=== Analysis accuracy: busy-period QBD vs exact chain vs "
               "simulation (paper claims <1%% vs simulation) ===\n");
-  Table table({"k", "mu_I", "mu_E", "rho", "policy", "QBD E[T]",
-               "exact E[T]", "sim E[T]", "err vs exact", "err vs sim"});
-
-  const struct {
-    int k;
-    double mu_i, mu_e, rho;
-  } settings[] = {{4, 1.0, 1.0, 0.5},  {4, 1.0, 1.0, 0.9},
-                  {4, 0.25, 1.0, 0.7}, {4, 3.25, 1.0, 0.7},
-                  {2, 2.0, 1.0, 0.8},  {8, 0.5, 1.0, 0.6},
-                  {16, 1.0, 1.0, 0.9}};
-  double worst_exact_err = 0.0;
-  for (const auto& s : settings) {
-    const SystemParams p =
-        SystemParams::from_load(s.k, s.mu_i, s.mu_e, s.rho);
-    ExactCtmcOptions opt;
-    opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
-    SimOptions sopt;
-    sopt.num_jobs = 150000;
-    sopt.warmup_jobs = 15000;
-    sopt.seed = 99;
-
-    const struct {
-      const char* name;
-      double qbd;
-      double exact;
-      double sim;
-    } rows[] = {
-        {"IF", analyze_inelastic_first(p).mean_response_time,
-         solve_exact_ctmc(p, InelasticFirst{}, opt).mean_response_time,
-         simulate(p, InelasticFirst{}, sopt).mean_response_time.mean},
-        {"EF", analyze_elastic_first(p).mean_response_time,
-         solve_exact_ctmc(p, ElasticFirst{}, opt).mean_response_time,
-         simulate(p, ElasticFirst{}, sopt).mean_response_time.mean},
-    };
-    for (const auto& row : rows) {
-      const double err_exact = relative_error(row.qbd, row.exact);
-      const double err_sim = relative_error(row.qbd, row.sim);
-      worst_exact_err = std::max(worst_exact_err, err_exact);
-      table.add_row({std::to_string(s.k), format_double(s.mu_i),
-                     format_double(s.mu_e), format_double(s.rho), row.name,
-                     format_double(row.qbd), format_double(row.exact),
-                     format_double(row.sim),
-                     format_double(100.0 * err_exact, 3) + "%",
-                     format_double(100.0 * err_sim, 3) + "%"});
-    }
-  }
-  table.print(std::cout);
-  std::printf("\nworst QBD-vs-exact error: %.3f%% (paper: <1%%; errors vs "
-              "simulation include Monte Carlo noise)\n",
-              100.0 * worst_exact_err);
+  const Scenario scenario = builtin_scenario("analysis-accuracy");
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  print_view("accuracy", std::cout, scenario, points, results, stats);
   return 0;
 }

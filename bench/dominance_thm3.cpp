@@ -4,65 +4,27 @@
 // traces across a parameter sweep, measures the worst pointwise violation
 // (which should be numerically zero), and reports the average work gap —
 // i.e., HOW MUCH slack IF buys, not just that it wins.
-#include <algorithm>
+//
+// Thin wrapper over the sweep engine: each point of the built-in
+// "dominance-thm3" scenario replays the case's fixed trace (derived from
+// options.trace_seed) under its policy and under IF via the 'trace'
+// solver; the shared "dominance" report view prints the comparison.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "common/table.hpp"
-#include "core/policies.hpp"
-#include "sim/coupled.hpp"
-#include "sim/trace.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  constexpr int kServers = 4;
-  constexpr double kHorizon = 1500.0;
-
   std::printf("=== Theorem 3 reproduction: pointwise work dominance of IF "
               "over class P ===\n");
-  Table table({"mu_I", "mu_E", "rho", "policy", "max W viol", "max W_I viol",
-               "avg W gap", "checkpoints"});
-
-  const struct {
-    double mu_i, mu_e, rho;
-  } settings[] = {{1.0, 1.0, 0.6}, {2.0, 1.0, 0.8}, {0.25, 1.0, 0.9},
-                  {3.25, 1.0, 0.7}, {1.0, 1.0, 0.95}};
-  double worst_violation = 0.0;
-  for (const auto& s : settings) {
-    const SystemParams p =
-        SystemParams::from_load(kServers, s.mu_i, s.mu_e, s.rho);
-    const Trace trace = generate_trace(p, kHorizon, 2026);
-    const WorkPath if_path = run_on_trace(trace, p, InelasticFirst{});
-    const std::vector<PolicyPtr> family = {
-        make_elastic_first(), make_fair_share(), make_inelastic_cap(1),
-        make_inelastic_cap(2), make_inelastic_cap(3)};
-    for (const auto& policy : family) {
-      const WorkPath other = run_on_trace(trace, p, *policy);
-      const DominanceReport report = check_dominance(if_path, other);
-      // Average gap W_pi(t) - W_IF(t) sampled uniformly over the horizon.
-      double gap = 0.0;
-      const int samples = 4000;
-      for (int n = 0; n < samples; ++n) {
-        const double t = kHorizon * (n + 0.5) / samples;
-        gap += other.total_work_at(t) - if_path.total_work_at(t);
-      }
-      gap /= samples;
-      worst_violation = std::max(
-          {worst_violation, report.max_total_violation,
-           report.max_inelastic_violation});
-      table.add_row({format_double(s.mu_i), format_double(s.mu_e),
-                     format_double(s.rho), policy->name(),
-                     format_double(report.max_total_violation, 3),
-                     format_double(report.max_inelastic_violation, 3),
-                     format_double(gap), std::to_string(report.num_checkpoints)});
-    }
-  }
-  table.print(std::cout);
-  std::printf("\nworst pointwise violation over all runs: %.3g "
-              "(theory: exactly 0; float error only)\n",
-              worst_violation);
-  std::printf("avg W gap >= 0 everywhere: IF keeps the least work in "
-              "system, as Theorem 3 proves.\n");
+  const Scenario scenario = builtin_scenario("dominance-thm3");
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  print_view("dominance", std::cout, scenario, points, results, stats);
   return 0;
 }

@@ -8,13 +8,15 @@
 //
 // Thin wrapper over the sweep engine: the grid is the engine's built-in
 // "fig4" scenario (the single source of truth for the figure's axes),
-// solved in parallel by the SweepRunner; only the printing stays here.
+// solved in parallel by the SweepRunner and rendered by the shared
+// "heatmap" report view; only the banner and the figure CSV stay here.
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "common/csv.hpp"
-#include "common/error.hpp"
 #include "common/table.hpp"
+#include "engine/report.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
 
@@ -25,60 +27,31 @@ int main() {
   std::printf("=== Figure 4 reproduction: IF vs EF winner maps ===\n");
 
   const Scenario scenario = builtin_scenario("fig4");
-  ESCHED_CHECK(scenario.policies == std::vector<std::string>({"IF", "EF"}) &&
-                   scenario.solvers.size() == 1 &&
-                   scenario.mu_i_values == scenario.mu_e_values,
-               "fig4 index mapping assumes the built-in scenario's shape");
   const auto points = scenario.expand();
   SweepRunner runner;
-  const auto results = runner.run(points);
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
 
-  // Expansion is row-major over (rho, mu_i, mu_e, policy={IF,EF}); the
-  // figure prints mu_E descending, mu_I ascending.
+  ViewOptions view;
+  view.title_prefix = "Figure 4: ";
+  print_view("heatmap", std::cout, scenario, points, results, stats, view);
+
+  // The figure CSV iterates like the map: per rho, mu_E descending,
+  // mu_I ascending. Expansion is row-major over (rho, mu_i, mu_e, policy).
   const auto& mu_grid = scenario.mu_i_values;  // same grid on both axes
   const std::size_t grid = mu_grid.size();
-  const auto result_at = [&](std::size_t r, std::size_t a, std::size_t b,
-                             std::size_t policy) -> const RunResult& {
-    return results[((r * grid + a) * grid + b) * 2 + policy];
-  };
-  const int k = scenario.k_values.front();
-
   for (std::size_t r = 0; r < scenario.rho_values.size(); ++r) {
-    const double rho = scenario.rho_values[r];
-    std::printf("\nFigure 4: rho = %.1f, k = %d (rows mu_E top-down, cols "
-                "mu_I left-right; I = IF wins, E = EF wins)\n",
-                rho, k);
-    std::printf("%7s", "mu_E\\I");
-    for (const double mu_i : mu_grid) std::printf("%5.2f", mu_i);
-    std::printf("\n");
-
-    int if_wins = 0;
-    int ef_wins = 0;
-    int if_wins_upper = 0;   // mu_I >= mu_E (Theorem 5 region)
-    int points_upper = 0;
     for (std::size_t b = grid; b-- > 0;) {
-      const double mu_e = mu_grid[b];
-      std::printf("%6.2f ", mu_e);
       for (std::size_t a = 0; a < grid; ++a) {
-        const double mu_i = mu_grid[a];
-        const double et_if = result_at(r, a, b, 0).mean_response_time;
-        const double et_ef = result_at(r, a, b, 1).mean_response_time;
-        const bool if_better = et_if <= et_ef;
-        (if_better ? if_wins : ef_wins)++;
-        if (mu_i >= mu_e - 1e-9) {
-          ++points_upper;
-          if (if_better) ++if_wins_upper;
-        }
-        std::printf("%5c", if_better ? 'I' : 'E');
-        csv.add_row({format_double(rho), format_double(mu_i),
-                     format_double(mu_e), format_double(et_if),
-                     format_double(et_ef), if_better ? "IF" : "EF"});
+        const std::size_t cell = ((r * grid + a) * grid + b) * 2;
+        const double et_if = results[cell].mean_response_time;
+        const double et_ef = results[cell + 1].mean_response_time;
+        csv.add_row({format_double(scenario.rho_values[r]),
+                     format_double(mu_grid[a]), format_double(mu_grid[b]),
+                     format_double(et_if), format_double(et_ef),
+                     et_if <= et_ef ? "IF" : "EF"});
       }
-      std::printf("\n");
     }
-    std::printf("summary: IF wins %d points, EF wins %d points; "
-                "IF wins %d/%d points with mu_I >= mu_E (paper: all)\n",
-                if_wins, ef_wins, if_wins_upper, points_upper);
   }
   std::printf("\nwrote fig4_heatmap.csv (%zu rows)\n", csv.num_rows());
   return 0;

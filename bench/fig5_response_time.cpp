@@ -5,39 +5,49 @@
 // shape: the curves cross left of mu_I = 1, EF is flat in mu_I only
 // through its inelastic share, and the gap is largest at high load and
 // extreme mu_I.
+//
+// Thin wrapper over the sweep engine: the axes are the engine's built-in
+// "fig5" scenario, solved in parallel by the SweepRunner and rendered by
+// the shared "vs-mu" report view; only the banner and the figure CSV stay
+// here.
 #include <cstdio>
 #include <iostream>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/ef_analysis.hpp"
-#include "core/if_analysis.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  constexpr int kServers = 4;
-  constexpr double kMuE = 1.0;
   CsvWriter csv("fig5_response_time.csv",
                 {"rho", "mu_i", "et_if", "et_ef"});
+
+  const Scenario scenario = builtin_scenario("fig5");
   std::printf("=== Figure 5 reproduction: E[T] under IF and EF vs mu_I "
               "(k = %d, mu_E = %.0f, lambda_I = lambda_E) ===\n",
-              kServers, kMuE);
-  for (double rho : {0.5, 0.7, 0.9}) {
-    Table table({"mu_I", "E[T] IF", "E[T] EF", "winner"});
-    for (double mu_i = 0.25; mu_i <= 3.5 + 1e-9; mu_i += 0.25) {
-      const SystemParams p =
-          SystemParams::from_load(kServers, mu_i, kMuE, rho);
-      const double et_if = analyze_inelastic_first(p).mean_response_time;
-      const double et_ef = analyze_elastic_first(p).mean_response_time;
-      table.add_row({format_double(mu_i), format_double(et_if),
-                     format_double(et_ef), et_if <= et_ef ? "IF" : "EF"});
-      csv.add_row({format_double(rho), format_double(mu_i),
-                   format_double(et_if), format_double(et_ef)});
+              scenario.k_values.front(), scenario.mu_e_values.front());
+
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+
+  ViewOptions view;
+  view.rho_note = " (mu_I = 1 marks mu_I = mu_E; IF optimal to the right)";
+  print_view("vs-mu", std::cout, scenario, points, results, stats, view);
+
+  // Expansion is row-major over (rho, mu_i, policy={IF,EF}).
+  const std::size_t nmu = scenario.mu_i_values.size();
+  for (std::size_t r = 0; r < scenario.rho_values.size(); ++r) {
+    for (std::size_t m = 0; m < nmu; ++m) {
+      const std::size_t cell = (r * nmu + m) * 2;
+      csv.add_row({format_double(scenario.rho_values[r]),
+                   format_double(scenario.mu_i_values[m]),
+                   format_double(results[cell].mean_response_time),
+                   format_double(results[cell + 1].mean_response_time)});
     }
-    std::printf("\n--- rho = %.1f (mu_I = 1 marks mu_I = mu_E; IF optimal "
-                "to the right) ---\n",
-                rho);
-    table.print(std::cout);
   }
   std::printf("\nwrote fig5_response_time.csv (%zu rows)\n", csv.num_rows());
   return 0;

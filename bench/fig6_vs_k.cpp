@@ -6,15 +6,16 @@
 //
 // Thin wrapper over the sweep engine: the k-axis is the engine's built-in
 // "fig6" scenario (the single source of truth for the figure's axes),
-// solved in parallel by the SweepRunner; only the printing stays here.
+// solved in parallel by the SweepRunner and rendered by the shared "vs-k"
+// report view; only the banner and the figure CSV stay here.
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/csv.hpp"
-#include "common/error.hpp"
 #include "common/table.hpp"
+#include "engine/report.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
 
@@ -23,40 +24,29 @@ int main() {
   CsvWriter csv("fig6_vs_k.csv", {"mu_i", "mu_e", "k", "et_if", "et_ef"});
 
   const Scenario scenario = builtin_scenario("fig6");
-  ESCHED_CHECK(scenario.policies == std::vector<std::string>({"IF", "EF"}) &&
-                   scenario.solvers.size() == 1 &&
-                   scenario.rho_values.size() == 1 &&
-                   scenario.mu_i_values.size() == 2 &&
-                   scenario.mu_e_values.size() == 1,
-               "fig6 index mapping assumes the built-in scenario's shape");
   const auto points = scenario.expand();
   SweepRunner runner;
-  const auto results = runner.run(points);
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
 
-  const double rho = scenario.rho_values.front();
-  const double mu_e = scenario.mu_e_values.front();
   std::printf("=== Figure 6 reproduction: E[T] vs k at rho = %.1f ===\n",
-              rho);
-  const char* labels[] = {"(a) mu_I = 0.25, mu_E = 1 (EF region)",
-                          "(b) mu_I = 3.25, mu_E = 1 (IF region)"};
+              scenario.rho_values.front());
+  ViewOptions view;
+  view.panel_labels = {"(a) mu_I = 0.25, mu_E = 1 (EF region)",
+                       "(b) mu_I = 3.25, mu_E = 1 (IF region)"};
+  print_view("vs-k", std::cout, scenario, points, results, stats, view);
 
   // Expansion is row-major over (k, mu_i, policy={IF,EF}): 4 results per
-  // k; the figure prints one panel per mu_I.
+  // k; the figure CSV emits one block per mu_I panel.
+  const double mu_e = scenario.mu_e_values.front();
   for (std::size_t panel = 0; panel < scenario.mu_i_values.size(); ++panel) {
-    const double mu_i = scenario.mu_i_values[panel];
-    Table table({"k", "E[T] IF", "E[T] EF", "gap EF-IF"});
     for (std::size_t n = 0; n < scenario.k_values.size(); ++n) {
-      const int k = scenario.k_values[n];
-      const double et_if = results[n * 4 + panel * 2].mean_response_time;
-      const double et_ef = results[n * 4 + panel * 2 + 1].mean_response_time;
-      table.add_row({std::to_string(k), format_double(et_if),
-                     format_double(et_ef), format_double(et_ef - et_if)});
-      csv.add_row({format_double(mu_i), format_double(mu_e),
-                   std::to_string(k), format_double(et_if),
-                   format_double(et_ef)});
+      const std::size_t cell = (n * scenario.mu_i_values.size() + panel) * 2;
+      csv.add_row({format_double(scenario.mu_i_values[panel]),
+                   format_double(mu_e), std::to_string(scenario.k_values[n]),
+                   format_double(results[cell].mean_response_time),
+                   format_double(results[cell + 1].mean_response_time)});
     }
-    std::printf("\n--- %s ---\n", labels[panel]);
-    table.print(std::cout);
   }
   std::printf("\nwrote fig6_vs_k.csv (%zu rows)\n", csv.num_rows());
   return 0;

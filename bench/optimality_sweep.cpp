@@ -6,69 +6,34 @@
 //  - Appendix B: idling strictly hurts.
 // This is the "MDP-style" brute-force baseline of [7] that §5's analysis
 // replaces; it doubles here as ground truth.
+//
+// Thin wrapper over the sweep engine: the spot settings are the engine's
+// built-in "optimality-family" scenario (exact-CTMC points at one params
+// share a single chain skeleton via ExactCtmcBatch), rendered by the
+// shared "family" report view.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "common/table.hpp"
-#include "core/exact_ctmc.hpp"
-#include "core/policies.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  constexpr int kServers = 4;
+  const Scenario scenario = builtin_scenario("optimality-family");
 
   std::printf("=== Section 4 optimality sweep (exact truncated chain, "
               "k = %d, lambda_I = lambda_E) ===\n",
-              kServers);
-  Table table({"mu_I", "mu_E", "rho", "E[T] IF", "E[T] EF", "E[T] Fair",
-               "E[T] Cap2", "E[T] IF+idle", "best", "IF optimal?"});
+              scenario.cases.front().k);
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
 
-  std::vector<std::pair<PolicyPtr, const char*>> family = {
-      {make_inelastic_first(), "IF"},
-      {make_elastic_first(), "EF"},
-      {make_fair_share(), "FairShare"},
-      {make_inelastic_cap(2), "Cap2"},
-      {make_idling(make_inelastic_first(), 1.0), "IF+idle"}};
-
-  const struct {
-    double mu_i, mu_e, rho;
-  } settings[] = {{1.0, 1.0, 0.5},  {1.0, 1.0, 0.8},  {2.0, 1.0, 0.5},
-                  {2.0, 1.0, 0.9},  {3.25, 1.0, 0.7}, {0.25, 1.0, 0.5},
-                  {0.25, 1.0, 0.9}, {0.5, 1.0, 0.9},  {0.9, 1.0, 0.7}};
-  int theorem5_checks = 0;
-  int theorem5_holds = 0;
-  for (const auto& s : settings) {
-    const SystemParams p =
-        SystemParams::from_load(kServers, s.mu_i, s.mu_e, s.rho);
-    ExactCtmcOptions opt;
-    opt.imax = opt.jmax = suggested_truncation(p.rho(), 1e-9);
-
-    std::vector<double> et;
-    et.reserve(family.size());
-    for (const auto& [policy, name] : family) {
-      et.push_back(solve_exact_ctmc(p, *policy, opt).mean_response_time);
-    }
-    std::size_t best = 0;
-    for (std::size_t n = 1; n < et.size(); ++n) {
-      if (et[n] < et[best]) best = n;
-    }
-    const bool diagonal_or_above = s.mu_i >= s.mu_e;
-    const bool if_optimal = et[0] <= et[best] * (1.0 + 1e-9);
-    if (diagonal_or_above) {
-      ++theorem5_checks;
-      if (if_optimal) ++theorem5_holds;
-    }
-    table.add_row({format_double(s.mu_i), format_double(s.mu_e),
-                   format_double(s.rho), format_double(et[0]),
-                   format_double(et[1]), format_double(et[2]),
-                   format_double(et[3]), format_double(et[4]),
-                   family[best].second, if_optimal ? "yes" : "no"});
-  }
-  table.print(std::cout);
-  std::printf("\nTheorem 5 (mu_I >= mu_E => IF optimal in family): %d/%d "
-              "settings hold.\n",
-              theorem5_holds, theorem5_checks);
+  ViewOptions view;
+  view.policy_labels = {"IF", "EF", "FairShare", "Cap2", "IF+idle"};
+  view.column_labels = {"IF", "EF", "Fair", "Cap2", "IF+idle"};
+  print_view("family", std::cout, scenario, points, results, stats, view);
   std::printf("Below the diagonal EF takes over at high load (paper §4.3); "
               "the idling variant never wins (Appendix B).\n");
   return 0;

@@ -1,54 +1,32 @@
 // Beyond the paper's means: response-time DISTRIBUTIONS under IF and EF.
 // The optimality results concern E[T], but operators care about tails.
-// This harness simulates the Figure 5 extremes and reports P50/P95/P99
-// per class, showing (a) why IF is operationally attractive when
-// inelastic jobs are small — it caps their tail near the service time —
-// and (b) what EF's tail advantage looks like in its winning region.
+// This harness simulates the Figure 5 extremes and reports P50/P99 per
+// class, showing (a) why IF is operationally attractive when inelastic
+// jobs are small — it caps their tail near the service time — and (b)
+// what EF's tail advantage looks like in its winning region.
+//
+// Thin wrapper over the sweep engine: the settings are the engine's
+// built-in "tail-latency" scenario (sim points with options.sim_tails
+// collecting the per-class histograms), rendered by the shared "tail"
+// report view.
 #include <cstdio>
 #include <iostream>
 
-#include "common/table.hpp"
-#include "core/policies.hpp"
-#include "sim/cluster_sim.hpp"
-
-namespace {
-
-using namespace esched;
-
-void run_setting(double mu_i, double mu_e, double rho, Table& table) {
-  const SystemParams p = SystemParams::from_load(4, mu_i, mu_e, rho);
-  for (const auto& policy : {make_inelastic_first(), make_elastic_first()}) {
-    // Generous range; quantiles interpolate within bins.
-    Histogram hist_i(0.0, 400.0 / mu_i, 20000);
-    Histogram hist_e(0.0, 400.0 / mu_e, 20000);
-    SimOptions opt;
-    opt.num_jobs = 250000;
-    opt.warmup_jobs = 25000;
-    opt.seed = 1234;
-    opt.response_hist_i = &hist_i;
-    opt.response_hist_e = &hist_e;
-    const SimResult r = simulate(p, *policy, opt);
-    table.add_row({format_double(mu_i), format_double(rho), policy->name(),
-                   format_double(r.mean_response_time.mean, 4),
-                   format_double(hist_i.quantile(0.5), 4),
-                   format_double(hist_i.quantile(0.99), 4),
-                   format_double(hist_e.quantile(0.5), 4),
-                   format_double(hist_e.quantile(0.99), 4)});
-  }
-}
-
-}  // namespace
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 
 int main() {
   using namespace esched;
-  std::printf("=== Tail latency under IF vs EF (k = 4, mu_E = 1, "
-              "simulation with 250k jobs) ===\n");
-  Table table({"mu_I", "rho", "policy", "mean E[T]", "inel P50", "inel P99",
-               "el P50", "el P99"});
-  run_setting(3.25, 1.0, 0.7, table);  // IF's winning region
-  run_setting(3.25, 1.0, 0.9, table);
-  run_setting(0.25, 1.0, 0.9, table);  // EF's winning region
-  table.print(std::cout);
+  const Scenario scenario = builtin_scenario("tail-latency");
+  std::printf("=== Tail latency under IF vs EF (k = %d, mu_E = 1, "
+              "simulation with 250k jobs) ===\n",
+              scenario.cases.front().k);
+  const auto points = scenario.expand();
+  SweepRunner runner;
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  print_view("tail", std::cout, scenario, points, results, stats);
   std::printf("\nIn IF's region the inelastic P99 stays near the service "
               "time under IF but explodes under EF (every elastic burst "
               "starves the small jobs); in EF's region the mean flips but "

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <string>
 
 namespace esched {
 
@@ -35,5 +37,16 @@ inline bool is_finite(double x) { return std::isfinite(x); }
 inline double sq(double x) { return x * x; }
 
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// FNV-1a over a byte string: platform-independent, stable across runs.
+/// Used for deterministic per-point RNG seeds and disk-cache file names.
+inline std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace esched

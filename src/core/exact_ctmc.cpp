@@ -17,39 +17,69 @@ long suggested_truncation(double rho, double epsilon) {
   return std::clamp(static_cast<long>(std::ceil(levels)), 16L, 400L);
 }
 
-ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
-                                 const AllocationPolicy& policy,
-                                 const ExactCtmcOptions& options) {
-  params.validate();
-  ESCHED_CHECK(params.stable(), "exact solve requires rho < 1");
-  ESCHED_CHECK(options.imax >= 1 && options.jmax >= 1,
+namespace {
+
+std::size_t state_index(long i, long j, long nj) {
+  return static_cast<std::size_t>(i * nj + j);
+}
+
+}  // namespace
+
+ExactCtmcBatch::ExactCtmcBatch(const SystemParams& params,
+                               const ExactCtmcOptions& options)
+    : params_(params),
+      options_(options),
+      skeleton_(static_cast<std::size_t>((options.imax + 1) *
+                                         (options.jmax + 1))) {
+  params_.validate();
+  ESCHED_CHECK(params_.stable(), "exact solve requires rho < 1");
+  ESCHED_CHECK(options_.imax >= 1 && options_.jmax >= 1,
                "truncation levels must be >= 1");
+  ESCHED_CHECK(params_.lambda_i + params_.lambda_e > 0.0,
+               "exact solve requires some arrivals");
 
-  const long ni = options.imax + 1;
-  const long nj = options.jmax + 1;
+  // The arrival transitions do not depend on the policy: add them once.
+  // Arrivals are dropped at the truncation boundary (reflecting wall).
+  // Per state the insertion order is (arrival_i, arrival_e) here and
+  // (service_i, service_e) in solve(), the same accumulation order as a
+  // monolithic build, so exit-rate sums — and therefore the stationary
+  // solve — are bitwise identical to the unbatched path.
+  const long ni = options_.imax + 1;
+  const long nj = options_.jmax + 1;
+  for (long i = 0; i < ni; ++i) {
+    for (long j = 0; j < nj; ++j) {
+      const std::size_t s = state_index(i, j, nj);
+      if (i + 1 < ni) {
+        skeleton_.add_rate(s, state_index(i + 1, j, nj), params_.lambda_i);
+      }
+      if (j + 1 < nj) {
+        skeleton_.add_rate(s, state_index(i, j + 1, nj), params_.lambda_e);
+      }
+    }
+  }
+}
+
+ExactCtmcResult ExactCtmcBatch::solve(const AllocationPolicy& policy) const {
+  const long ni = options_.imax + 1;
+  const long nj = options_.jmax + 1;
   const auto num_states = static_cast<std::size_t>(ni * nj);
-  const auto index = [nj](long i, long j) {
-    return static_cast<std::size_t>(i * nj + j);
-  };
 
-  SparseCtmc chain(num_states);
+  SparseCtmc chain = skeleton_;
   for (long i = 0; i < ni; ++i) {
     for (long j = 0; j < nj; ++j) {
       const State state{i, j};
-      policy.check_feasible(state, params);
-      const Allocation a = policy.allocate(state, params);
-      const std::size_t s = index(i, j);
-      // Arrivals are dropped at the truncation boundary (reflecting wall).
-      if (i + 1 < ni) chain.add_rate(s, index(i + 1, j), params.lambda_i);
-      if (j + 1 < nj) chain.add_rate(s, index(i, j + 1), params.lambda_e);
+      policy.check_feasible(state, params_);
+      const Allocation a = policy.allocate(state, params_);
+      const std::size_t s = state_index(i, j, nj);
       if (i > 0 && a.inelastic > 0.0) {
-        chain.add_rate(s, index(i - 1, j), a.inelastic * params.mu_i);
+        chain.add_rate(s, state_index(i - 1, j, nj),
+                       a.inelastic * params_.mu_i);
       }
       // Bounded elasticity: only cap * j servers of the class allocation
       // can actually be used by elastic jobs.
-      const double usable = params.usable_elastic(a.elastic, j);
+      const double usable = params_.usable_elastic(a.elastic, j);
       if (j > 0 && usable > 0.0) {
-        chain.add_rate(s, index(i, j - 1), usable * params.mu_e);
+        chain.add_rate(s, state_index(i, j - 1, nj), usable * params_.mu_e);
       }
     }
   }
@@ -57,13 +87,13 @@ ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
 
   Vector pi;
   StationarySolveInfo solve_info;
-  if (num_states <= options.gth_state_limit) {
+  if (num_states <= options_.gth_state_limit) {
     pi = gth_stationary(chain);
     solve_info.converged = true;
     solve_info.residual = stationary_residual(chain, pi);
   } else {
-    pi = sor_stationary(chain, options.sor_tol, options.sor_max_iters,
-                        options.sor_omega, &solve_info);
+    pi = sor_stationary(chain, options_.sor_tol, options_.sor_max_iters,
+                        options_.sor_omega, &solve_info);
     ESCHED_CHECK(solve_info.converged,
                  "SOR did not converge; increase iterations or loosen tol");
   }
@@ -73,21 +103,26 @@ ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
   result.solve_info = solve_info;
   for (long i = 0; i < ni; ++i) {
     for (long j = 0; j < nj; ++j) {
-      const double p = pi[index(i, j)];
+      const double p = pi[state_index(i, j, nj)];
       result.mean_jobs_i += static_cast<double>(i) * p;
       result.mean_jobs_e += static_cast<double>(j) * p;
-      if (i == options.imax || j == options.jmax) result.boundary_mass += p;
+      if (i == options_.imax || j == options_.jmax) result.boundary_mass += p;
     }
   }
-  const double total_lambda = params.lambda_i + params.lambda_e;
-  ESCHED_CHECK(total_lambda > 0.0, "exact solve requires some arrivals");
+  const double total_lambda = params_.lambda_i + params_.lambda_e;
   result.mean_response_time =
       (result.mean_jobs_i + result.mean_jobs_e) / total_lambda;
   result.mean_response_time_i =
-      params.lambda_i > 0.0 ? result.mean_jobs_i / params.lambda_i : 0.0;
+      params_.lambda_i > 0.0 ? result.mean_jobs_i / params_.lambda_i : 0.0;
   result.mean_response_time_e =
-      params.lambda_e > 0.0 ? result.mean_jobs_e / params.lambda_e : 0.0;
+      params_.lambda_e > 0.0 ? result.mean_jobs_e / params_.lambda_e : 0.0;
   return result;
+}
+
+ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
+                                 const AllocationPolicy& policy,
+                                 const ExactCtmcOptions& options) {
+  return ExactCtmcBatch(params, options).solve(policy);
 }
 
 }  // namespace esched

@@ -47,9 +47,36 @@ struct ExactCtmcResult {
 
 /// Solves the truncated chain for `policy` at `params`. Requires rho < 1
 /// (otherwise the truncated result is meaningless and this throws).
+/// Equivalent to ExactCtmcBatch(params, options).solve(policy).
 ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
                                  const AllocationPolicy& policy,
                                  const ExactCtmcOptions& options = {});
+
+/// Shares chain-topology construction across policies at identical
+/// (params, options): the truncated state space and its policy-independent
+/// arrival transitions are built once, and each solve() only adds the
+/// policy's service rates before solving. Every policy-family sweep (the
+/// §4 optimality table, the engine's exact-CTMC point groups) hits the
+/// same params with many policies, so the per-policy rebuild is pure
+/// waste. solve() is bitwise identical to solve_exact_ctmc on the same
+/// inputs — rates are accumulated per state in the same order — which is
+/// what lets the sweep engine batch transparently under its memo cache.
+class ExactCtmcBatch {
+ public:
+  ExactCtmcBatch(const SystemParams& params, const ExactCtmcOptions& options);
+
+  ExactCtmcResult solve(const AllocationPolicy& policy) const;
+
+  const SystemParams& params() const { return params_; }
+  const ExactCtmcOptions& options() const { return options_; }
+
+ private:
+  SystemParams params_;
+  ExactCtmcOptions options_;
+  /// Arrival-only generator skeleton (unfrozen); solve() copies it and
+  /// adds the policy's service transitions.
+  SparseCtmc skeleton_;
+};
 
 /// Truncation level at which a geometric tail of ratio rho holds at most
 /// `epsilon` mass — a reasonable default for both dimensions. Clamped to

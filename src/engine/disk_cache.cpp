@@ -1,0 +1,169 @@
+#include "engine/disk_cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace esched {
+
+namespace {
+
+constexpr const char* kFormatTag = "esched-cache-v1";
+
+std::string hex_fnv1a(const std::string& text) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(text)));
+  return buf;
+}
+
+std::string format_field(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string serialize_run_result(const RunResult& r) {
+  std::ostringstream out;
+  out << kFormatTag << '\n';
+  out << "et " << format_field(r.mean_response_time) << '\n';
+  out << "et_i " << format_field(r.mean_response_time_i) << '\n';
+  out << "et_e " << format_field(r.mean_response_time_e) << '\n';
+  out << "en_i " << format_field(r.mean_jobs_i) << '\n';
+  out << "en_e " << format_field(r.mean_jobs_e) << '\n';
+  out << "ci " << format_field(r.ci_halfwidth) << '\n';
+  out << "p50_i " << format_field(r.p50_i) << '\n';
+  out << "p95_i " << format_field(r.p95_i) << '\n';
+  out << "p99_i " << format_field(r.p99_i) << '\n';
+  out << "p50_e " << format_field(r.p50_e) << '\n';
+  out << "p95_e " << format_field(r.p95_e) << '\n';
+  out << "p99_e " << format_field(r.p99_e) << '\n';
+  out << "boundary " << format_field(r.boundary_mass) << '\n';
+  out << "states " << r.num_states << '\n';
+  out << "dom_viol " << format_field(r.dom_max_violation) << '\n';
+  out << "dom_viol_i " << format_field(r.dom_max_violation_i) << '\n';
+  out << "dom_gap " << format_field(r.dom_avg_gap) << '\n';
+  out << "dom_checkpoints " << r.dom_checkpoints << '\n';
+  out << "iterations " << r.solver_iterations << '\n';
+  out << "residual " << format_field(r.solve_residual) << '\n';
+  out << "seconds " << format_field(r.solve_seconds) << '\n';
+  return out.str();
+}
+
+std::optional<RunResult> deserialize_run_result(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  if (!std::getline(in, tag) || tag != kFormatTag) return std::nullopt;
+  RunResult r;
+  // Distinct field names, not occurrences: a corrupt entry with one line
+  // duplicated and another lost must read as a miss, never as a result
+  // with a silently-zeroed metric.
+  std::set<std::string> seen;
+  std::string name;
+  while (in >> name) {
+    if (!seen.insert(name).second) return std::nullopt;
+    double value = 0.0;
+    long integral = 0;
+    if (name == "states") {
+      if (!(in >> integral)) return std::nullopt;
+      r.num_states = integral;
+    } else if (name == "dom_checkpoints") {
+      if (!(in >> integral)) return std::nullopt;
+      r.dom_checkpoints = integral;
+    } else if (name == "iterations") {
+      if (!(in >> integral)) return std::nullopt;
+      r.solver_iterations = static_cast<int>(integral);
+    } else {
+      if (!(in >> value)) return std::nullopt;
+      if (name == "et") r.mean_response_time = value;
+      else if (name == "et_i") r.mean_response_time_i = value;
+      else if (name == "et_e") r.mean_response_time_e = value;
+      else if (name == "en_i") r.mean_jobs_i = value;
+      else if (name == "en_e") r.mean_jobs_e = value;
+      else if (name == "ci") r.ci_halfwidth = value;
+      else if (name == "p50_i") r.p50_i = value;
+      else if (name == "p95_i") r.p95_i = value;
+      else if (name == "p99_i") r.p99_i = value;
+      else if (name == "p50_e") r.p50_e = value;
+      else if (name == "p95_e") r.p95_e = value;
+      else if (name == "p99_e") r.p99_e = value;
+      else if (name == "boundary") r.boundary_mass = value;
+      else if (name == "dom_viol") r.dom_max_violation = value;
+      else if (name == "dom_viol_i") r.dom_max_violation_i = value;
+      else if (name == "dom_gap") r.dom_avg_gap = value;
+      else if (name == "residual") r.solve_residual = value;
+      else if (name == "seconds") r.solve_seconds = value;
+      else return std::nullopt;  // unknown field: written by a newer build
+    }
+  }
+  if (seen.size() != 21) return std::nullopt;
+  return r;
+}
+
+DiskResultCache::DiskResultCache(std::string directory)
+    : directory_(std::move(directory)) {
+  ESCHED_CHECK(!directory_.empty(), "cache directory path is empty");
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  ESCHED_CHECK(!ec, "cannot create cache directory '" + directory_ +
+                        "': " + ec.message());
+}
+
+std::string DiskResultCache::entry_path(const std::string& key) const {
+  return directory_ + "/" + hex_fnv1a(key) + ".result";
+}
+
+std::optional<RunResult> DiskResultCache::load(const std::string& key) const {
+  std::ifstream in(entry_path(key));
+  if (!in.good()) return std::nullopt;
+  std::string first_line;
+  if (!std::getline(in, first_line) || first_line != "key " + key) {
+    return std::nullopt;  // hash collision or foreign file: miss
+  }
+  std::stringstream rest;
+  rest << in.rdbuf();
+  return deserialize_run_result(rest.str());
+}
+
+void DiskResultCache::store(const std::string& key,
+                            const RunResult& result) const {
+  // Unique temp name per store (pid + in-process counter), then atomic
+  // rename: concurrent shard processes may race on the same key and either
+  // complete file wins.
+  static std::atomic<std::uint64_t> counter{0};
+#if __has_include(<unistd.h>)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp);
+    if (!out.good()) return;  // unwritable cache: silently skip persistence
+    out << "key " << key << '\n' << serialize_run_result(result);
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::remove(tmp.c_str());
+}
+
+}  // namespace esched

@@ -1,0 +1,45 @@
+// Persistent result cache: RunResults stored on disk keyed on
+// RunPoint::cache_key(), so repeated CLI invocations (and CI) skip points
+// that have already been solved. One small text file per entry, named by
+// the FNV-1a hash of the key and carrying the full key inside (a hash
+// collision therefore reads as a miss, never as a wrong result). Writes go
+// through a temp file + atomic rename, so concurrent shard processes can
+// share one cache directory without locking.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "engine/solver_dispatch.hpp"
+
+namespace esched {
+
+/// Exact text round-trip of a result (doubles via %.17g); load() of a
+/// store()d entry reproduces the RunResult bitwise. from_cache is not
+/// persisted — provenance belongs to the run that observes the hit.
+std::string serialize_run_result(const RunResult& result);
+/// Inverse of serialize_run_result; std::nullopt on malformed/versioned-out
+/// text (a corrupt entry is a miss, not an error).
+std::optional<RunResult> deserialize_run_result(const std::string& text);
+
+/// Directory-backed cache. Construction creates the directory (throws when
+/// that fails); lookups and stores never throw on I/O problems — a cache
+/// that cannot be read just misses, and a failed store leaves the solve
+/// result intact.
+class DiskResultCache {
+ public:
+  explicit DiskResultCache(std::string directory);
+
+  std::optional<RunResult> load(const std::string& key) const;
+  void store(const std::string& key, const RunResult& result) const;
+
+  const std::string& directory() const { return directory_; }
+
+  /// Path of the entry file a key maps to (exposed for tests/tooling).
+  std::string entry_path(const std::string& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace esched

@@ -1,11 +1,16 @@
 #include "engine/report.hpp"
 
+#include <cstdarg>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/numeric.hpp"
 #include "common/table.hpp"
+#include "core/exact_ctmc.hpp"
+#include "stats/accumulator.hpp"
 
 namespace esched {
 
@@ -13,11 +18,16 @@ namespace {
 
 const std::vector<std::string>& report_header() {
   static const std::vector<std::string> header = {
-      "k",          "rho",           "mu_i",          "mu_e",
-      "elastic_cap", "lambda_i",     "lambda_e",      "policy",
-      "solver",     "et",            "et_i",          "et_e",
-      "en_i",       "en_e",          "ci_halfwidth",  "boundary_mass",
-      "iterations", "residual",      "solve_seconds", "from_cache"};
+      "k",           "rho",           "mu_i",          "mu_e",
+      "elastic_cap", "lambda_i",      "lambda_e",      "policy",
+      "solver",      "fit_order",     "imax",          "jmax",
+      "et",          "et_i",          "et_e",          "en_i",
+      "en_e",        "ci_halfwidth",  "boundary_mass", "num_states",
+      "p50_i",       "p95_i",         "p99_i",         "p50_e",
+      "p95_e",       "p99_e",         "dom_viol_w",    "dom_viol_wi",
+      "dom_gap",     "dom_checkpoints",
+      // Volatile columns last, so sharded CSVs compare after stripping.
+      "iterations",  "residual",      "solve_seconds", "from_cache"};
   return header;
 }
 
@@ -33,6 +43,9 @@ std::vector<std::string> report_row(const RunPoint& point,
           format_double(p.lambda_e),
           point.policy,
           solver_name(point.solver),
+          std::to_string(static_cast<int>(point.options.fit_order)),
+          std::to_string(point.options.imax),
+          std::to_string(point.options.jmax),
           format_double(result.mean_response_time, 12),
           format_double(result.mean_response_time_i, 12),
           format_double(result.mean_response_time_e, 12),
@@ -40,6 +53,17 @@ std::vector<std::string> report_row(const RunPoint& point,
           format_double(result.mean_jobs_e, 12),
           format_double(result.ci_halfwidth),
           format_double(result.boundary_mass),
+          std::to_string(result.num_states),
+          format_double(result.p50_i, 12),
+          format_double(result.p95_i, 12),
+          format_double(result.p99_i, 12),
+          format_double(result.p50_e, 12),
+          format_double(result.p95_e, 12),
+          format_double(result.p99_e, 12),
+          format_double(result.dom_max_violation, 12),
+          format_double(result.dom_max_violation_i, 12),
+          format_double(result.dom_avg_gap, 12),
+          std::to_string(result.dom_checkpoints),
           std::to_string(result.solver_iterations),
           format_double(result.solve_residual),
           format_double(result.solve_seconds),
@@ -88,6 +112,7 @@ void write_json_report(const std::string& path,
     out << ",\n  \"stats\": {\"total_points\": " << stats->total_points
         << ", \"solved_points\": " << stats->solved_points
         << ", \"cache_hits\": " << stats->cache_hits
+        << ", \"disk_hits\": " << stats->disk_hits
         << ", \"threads\": " << stats->threads_used
         << ", \"wall_seconds\": " << format_double(stats->wall_seconds)
         << "}";
@@ -118,10 +143,532 @@ void print_sweep_summary(std::ostream& os, const std::vector<RunPoint>& points,
   if (shown < points.size()) {
     os << "... (" << points.size() - shown << " more rows; see CSV/JSON)\n";
   }
+  print_stats_line(os, stats);
+}
+
+void print_stats_line(std::ostream& os, const SweepStats& stats) {
   os << "points: " << stats.total_points << " (solved " << stats.solved_points
-     << ", cache hits " << stats.cache_hits << ") | threads: "
-     << stats.threads_used << " | wall: " << format_double(stats.wall_seconds)
-     << " s\n";
+     << ", cache hits " << stats.cache_hits;
+  if (stats.disk_hits > 0) os << ", disk hits " << stats.disk_hits;
+  os << ") | threads: " << stats.threads_used
+     << " | wall: " << format_double(stats.wall_seconds) << " s\n";
+}
+
+// ---------------------------------------------------------------------------
+// Named views. Each renders one classic report layout from engine results;
+// the formats reproduce the pre-engine harnesses byte for byte (with the
+// prose bits injected through ViewOptions), which is what lets the bench
+// binaries stay golden while sharing this code with `esched --view`.
+
+namespace {
+
+/// printf into an ostream — the views reproduce printf-era layouts, and
+/// matching the historical output exactly is easiest in printf terms.
+void osprintf(std::ostream& os, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  os << buf;
+}
+
+/// Row-major shape of an expanded scenario: (cells, truncation, fit,
+/// policy, solver), mirroring Scenario::expand.
+struct GridShape {
+  std::size_t ncells = 0;
+  std::size_t ntrunc = 1;
+  std::size_t nfit = 1;
+  std::size_t npol = 1;
+  std::size_t nsol = 1;
+
+  std::size_t at(std::size_t cell, std::size_t trunc, std::size_t fit,
+                 std::size_t pol, std::size_t sol) const {
+    return (((cell * ntrunc + trunc) * nfit + fit) * npol + pol) * nsol + sol;
+  }
+};
+
+GridShape shape_of(const Scenario& s) {
+  GridShape shape;
+  shape.ncells = s.cases.empty()
+                     ? s.k_values.size() * s.rho_values.size() *
+                           s.mu_i_values.size() * s.mu_e_values.size() *
+                           s.elastic_caps.size()
+                     : s.cases.size();
+  shape.ntrunc = s.trunc_values.empty() ? 1 : s.trunc_values.size();
+  shape.nfit = s.fit_orders.empty() ? 1 : s.fit_orders.size();
+  shape.npol = s.policies.size();
+  shape.nsol = s.solvers.size();
+  return shape;
+}
+
+void check_view_inputs(const char* view, const Scenario& scenario,
+                       const std::vector<RunPoint>& points,
+                       const std::vector<RunResult>& results) {
+  ESCHED_CHECK(points.size() == results.size(),
+               "points/results size mismatch");
+  ESCHED_CHECK(points.size() == scenario.num_points(),
+               std::string("view '") + view +
+                   "': results do not cover the full scenario grid (did you "
+                   "shard? sharded runs support only the 'table' view)");
+}
+
+void require(bool condition, const char* view, const std::string& what) {
+  ESCHED_CHECK(condition,
+               std::string("view '") + view + "' needs " + what);
+}
+
+std::size_t solver_index(const Scenario& scenario, SolverKind kind,
+                         const char* view) {
+  for (std::size_t n = 0; n < scenario.solvers.size(); ++n) {
+    if (scenario.solvers[n] == kind) return n;
+  }
+  throw Error(std::string("view '") + view + "' needs solver '" +
+              solver_name(kind) + "' on the scenario's solver axis");
+}
+
+/// Labels with defaults: pick options value when provided, else fallback.
+std::vector<std::string> labels_or(const std::vector<std::string>& given,
+                                   const std::vector<std::string>& fallback,
+                                   const char* view, const char* what) {
+  if (given.empty()) return fallback;
+  ESCHED_CHECK(given.size() == fallback.size(),
+               std::string("view '") + view + "': " + what + " needs " +
+                   std::to_string(fallback.size()) + " labels");
+  return given;
+}
+
+// --- heatmap: per-rho winner maps over the (mu_I, mu_E) grid -------------
+
+void print_heatmap_view(std::ostream& os, const Scenario& s,
+                        const std::vector<RunResult>& results,
+                        const ViewOptions& options) {
+  const char* view = "heatmap";
+  require(s.cases.empty(), view, "an axes-based scenario (rho/mu grids)");
+  require(s.k_values.size() == 1 && s.elastic_caps.size() == 1, view,
+          "single k and elastic_cap values");
+  require(s.mu_i_values == s.mu_e_values, view,
+          "identical mu_i and mu_e grids");
+  require(s.policies.size() == 2, view, "exactly two policies");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single solver and no truncation/fit axes");
+
+  const auto& grid = s.mu_i_values;
+  const std::size_t nmu = grid.size();
+  const int k = s.k_values.front();
+  const std::string& pol0 = s.policies[0];
+  const std::string& pol1 = s.policies[1];
+  const auto result_at = [&](std::size_t r, std::size_t a, std::size_t b,
+                             std::size_t policy) -> const RunResult& {
+    return results[shape.at((r * nmu + a) * nmu + b, 0, 0, policy, 0)];
+  };
+
+  for (std::size_t r = 0; r < s.rho_values.size(); ++r) {
+    const double rho = s.rho_values[r];
+    osprintf(os,
+             "\n%srho = %.1f, k = %d (rows mu_E top-down, cols mu_I "
+             "left-right; %c = %s wins, %c = %s wins)\n",
+             options.title_prefix.c_str(), rho, k, pol0[0], pol0.c_str(),
+             pol1[0], pol1.c_str());
+    osprintf(os, "%7s", "mu_E\\I");
+    for (const double mu_i : grid) osprintf(os, "%5.2f", mu_i);
+    osprintf(os, "\n");
+
+    int first_wins = 0;
+    int second_wins = 0;
+    int first_wins_upper = 0;  // mu_I >= mu_E (Theorem 5 region)
+    int points_upper = 0;
+    for (std::size_t b = nmu; b-- > 0;) {
+      const double mu_e = grid[b];
+      osprintf(os, "%6.2f ", mu_e);
+      for (std::size_t a = 0; a < nmu; ++a) {
+        const double mu_i = grid[a];
+        const double et0 = result_at(r, a, b, 0).mean_response_time;
+        const double et1 = result_at(r, a, b, 1).mean_response_time;
+        const bool first_better = et0 <= et1;
+        (first_better ? first_wins : second_wins)++;
+        if (mu_i >= mu_e - 1e-9) {
+          ++points_upper;
+          if (first_better) ++first_wins_upper;
+        }
+        osprintf(os, "%5c", first_better ? pol0[0] : pol1[0]);
+      }
+      osprintf(os, "\n");
+    }
+    osprintf(os,
+             "summary: %s wins %d points, %s wins %d points; "
+             "%s wins %d/%d points with mu_I >= mu_E (paper: all)\n",
+             pol0.c_str(), first_wins, pol1.c_str(), second_wins,
+             pol0.c_str(), first_wins_upper, points_upper);
+  }
+}
+
+// --- vs-mu: per-rho E[T] tables along the mu_I axis ----------------------
+
+void print_vs_mu_view(std::ostream& os, const Scenario& s,
+                      const std::vector<RunResult>& results,
+                      const ViewOptions& options) {
+  const char* view = "vs-mu";
+  require(s.cases.empty(), view, "an axes-based scenario (rho/mu_i axes)");
+  require(s.k_values.size() == 1 && s.mu_e_values.size() == 1 &&
+              s.elastic_caps.size() == 1,
+          view, "single k, mu_e, and elastic_cap values");
+  require(s.policies.size() == 2, view, "exactly two policies");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single solver and no truncation/fit axes");
+
+  const std::string& pol0 = s.policies[0];
+  const std::string& pol1 = s.policies[1];
+  const std::size_t nmu = s.mu_i_values.size();
+  for (std::size_t r = 0; r < s.rho_values.size(); ++r) {
+    Table table({"mu_I", "E[T] " + pol0, "E[T] " + pol1, "winner"});
+    for (std::size_t m = 0; m < nmu; ++m) {
+      const double et0 =
+          results[shape.at(r * nmu + m, 0, 0, 0, 0)].mean_response_time;
+      const double et1 =
+          results[shape.at(r * nmu + m, 0, 0, 1, 0)].mean_response_time;
+      table.add_row({format_double(s.mu_i_values[m]), format_double(et0),
+                     format_double(et1), et0 <= et1 ? pol0 : pol1});
+    }
+    osprintf(os, "\n--- rho = %.1f%s ---\n", s.rho_values[r],
+             options.rho_note.c_str());
+    table.print(os);
+  }
+}
+
+// --- vs-k: per-mu_I panels of E[T] along the k axis ----------------------
+
+void print_vs_k_view(std::ostream& os, const Scenario& s,
+                     const std::vector<RunResult>& results,
+                     const ViewOptions& options) {
+  const char* view = "vs-k";
+  require(s.cases.empty(), view, "an axes-based scenario (k axis)");
+  require(s.rho_values.size() == 1 && s.mu_e_values.size() == 1 &&
+              s.elastic_caps.size() == 1,
+          view, "single rho, mu_e, and elastic_cap values");
+  require(s.policies.size() == 2, view, "exactly two policies");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single solver and no truncation/fit axes");
+
+  const std::string& pol0 = s.policies[0];
+  const std::string& pol1 = s.policies[1];
+  std::vector<std::string> default_labels;
+  for (const double mu_i : s.mu_i_values) {
+    default_labels.push_back("mu_I = " + format_double(mu_i) + ", mu_E = " +
+                             format_double(s.mu_e_values.front()));
+  }
+  const auto labels =
+      labels_or(options.panel_labels, default_labels, view, "panel_labels");
+  const std::size_t nmu = s.mu_i_values.size();
+  for (std::size_t panel = 0; panel < nmu; ++panel) {
+    Table table({"k", "E[T] " + pol0, "E[T] " + pol1,
+                 "gap " + pol1 + "-" + pol0});
+    for (std::size_t n = 0; n < s.k_values.size(); ++n) {
+      const double et0 =
+          results[shape.at(n * nmu + panel, 0, 0, 0, 0)].mean_response_time;
+      const double et1 =
+          results[shape.at(n * nmu + panel, 0, 0, 1, 0)].mean_response_time;
+      table.add_row({std::to_string(s.k_values[n]), format_double(et0),
+                     format_double(et1), format_double(et1 - et0)});
+    }
+    osprintf(os, "\n--- %s ---\n", labels[panel].c_str());
+    table.print(os);
+  }
+}
+
+// --- family: per-case policy-family E[T] + Thm. 5 check ------------------
+
+void print_family_view(std::ostream& os, const Scenario& s,
+                       const std::vector<RunResult>& results,
+                       const ViewOptions& options) {
+  const char* view = "family";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single solver and no truncation/fit axes");
+  const auto policy_labels =
+      labels_or(options.policy_labels, s.policies, view, "policy_labels");
+  const auto column_labels =
+      labels_or(options.column_labels, s.policies, view, "column_labels");
+
+  std::vector<std::string> header = {"mu_I", "mu_E", "rho"};
+  for (const auto& label : column_labels) header.push_back("E[T] " + label);
+  header.push_back("best");
+  header.push_back(policy_labels[0] + " optimal?");
+  Table table(std::move(header));
+
+  int theorem5_checks = 0;
+  int theorem5_holds = 0;
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    std::vector<double> et;
+    et.reserve(shape.npol);
+    for (std::size_t p = 0; p < shape.npol; ++p) {
+      et.push_back(results[shape.at(c, 0, 0, p, 0)].mean_response_time);
+    }
+    std::size_t best = 0;
+    for (std::size_t n = 1; n < et.size(); ++n) {
+      if (et[n] < et[best]) best = n;
+    }
+    const bool diagonal_or_above = setting.mu_i >= setting.mu_e;
+    const bool first_optimal = et[0] <= et[best] * (1.0 + 1e-9);
+    if (diagonal_or_above) {
+      ++theorem5_checks;
+      if (first_optimal) ++theorem5_holds;
+    }
+    std::vector<std::string> row = {format_double(setting.mu_i),
+                                    format_double(setting.mu_e),
+                                    format_double(setting.rho)};
+    for (const double value : et) row.push_back(format_double(value));
+    row.push_back(policy_labels[best]);
+    row.push_back(first_optimal ? "yes" : "no");
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  osprintf(os,
+           "\nTheorem 5 (mu_I >= mu_E => %s optimal in family): %d/%d "
+           "settings hold.\n",
+           policy_labels[0].c_str(), theorem5_holds, theorem5_checks);
+}
+
+// --- accuracy: QBD vs exact vs simulation per case -----------------------
+
+void print_accuracy_view(std::ostream& os, const Scenario& s,
+                         const std::vector<RunResult>& results) {
+  const char* view = "accuracy";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  const GridShape shape = shape_of(s);
+  require(shape.ntrunc == 1 && shape.nfit == 1, view,
+          "no truncation/fit axes");
+  const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
+  const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
+  const std::size_t sim = solver_index(s, SolverKind::kSimulation, view);
+
+  Table table({"k", "mu_I", "mu_E", "rho", "policy", "QBD E[T]",
+               "exact E[T]", "sim E[T]", "err vs exact", "err vs sim"});
+  double worst_exact_err = 0.0;
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    for (std::size_t p = 0; p < shape.npol; ++p) {
+      const double et_qbd =
+          results[shape.at(c, 0, 0, p, qbd)].mean_response_time;
+      const double et_exact =
+          results[shape.at(c, 0, 0, p, exact)].mean_response_time;
+      const double et_sim =
+          results[shape.at(c, 0, 0, p, sim)].mean_response_time;
+      const double err_exact = relative_error(et_qbd, et_exact);
+      const double err_sim = relative_error(et_qbd, et_sim);
+      worst_exact_err = std::max(worst_exact_err, err_exact);
+      table.add_row({std::to_string(setting.k), format_double(setting.mu_i),
+                     format_double(setting.mu_e), format_double(setting.rho),
+                     s.policies[p], format_double(et_qbd),
+                     format_double(et_exact), format_double(et_sim),
+                     format_double(100.0 * err_exact, 3) + "%",
+                     format_double(100.0 * err_sim, 3) + "%"});
+    }
+  }
+  table.print(os);
+  osprintf(os,
+           "\nworst QBD-vs-exact error: %.3f%% (paper: <1%%; errors vs "
+           "simulation include Monte Carlo noise)\n",
+           100.0 * worst_exact_err);
+}
+
+// --- tail: per-class response-time percentiles per case ------------------
+
+void print_tail_view(std::ostream& os, const Scenario& s,
+                     const std::vector<RunResult>& results) {
+  const char* view = "tail";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  require(s.options.sim_tails, view,
+          "options.sim_tails = true (tail percentiles)");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single (sim) solver and no truncation/fit axes");
+
+  Table table({"mu_I", "rho", "policy", "mean E[T]", "inel P50", "inel P99",
+               "el P50", "el P99"});
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    for (std::size_t p = 0; p < shape.npol; ++p) {
+      const RunResult& r = results[shape.at(c, 0, 0, p, 0)];
+      table.add_row({format_double(setting.mu_i), format_double(setting.rho),
+                     make_policy(s.policies[p])->name(),
+                     format_double(r.mean_response_time, 4),
+                     format_double(r.p50_i, 4), format_double(r.p99_i, 4),
+                     format_double(r.p50_e, 4), format_double(r.p99_e, 4)});
+    }
+  }
+  table.print(os);
+}
+
+// --- truncation: exact-solver truncation ablation ------------------------
+
+void print_truncation_view(std::ostream& os, const Scenario& s,
+                           const std::vector<RunResult>& results) {
+  const char* view = "truncation";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  require(s.trunc_values.size() >= 2, view,
+          "a truncation axis with at least two levels (last = reference)");
+  require(s.policies.size() == 1, view, "a single policy");
+  const GridShape shape = shape_of(s);
+  require(shape.nfit == 1, view, "no fit axis");
+  const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
+  const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
+  const std::size_t last = s.trunc_values.size() - 1;
+
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const double rho = s.cases[c].rho;
+    const double reference =
+        results[shape.at(c, last, 0, 0, exact)].mean_response_time;
+    const double et_qbd =
+        results[shape.at(c, 0, 0, 0, qbd)].mean_response_time;
+    Table table({"truncation", "states", "E[T]", "rel err", "boundary mass",
+                 "solve ms"});
+    for (std::size_t t = 0; t < last; ++t) {
+      const RunResult& r = results[shape.at(c, t, 0, 0, exact)];
+      table.add_row(
+          {std::to_string(s.trunc_values[t]), std::to_string(r.num_states),
+           format_double(r.mean_response_time),
+           format_double(relative_error(r.mean_response_time, reference), 3),
+           format_double(r.boundary_mass, 3),
+           format_double(r.solve_seconds * 1000.0, 4)});
+    }
+    osprintf(os,
+             "\n--- rho = %.1f (reference E[T] = %.6f at truncation %ld; "
+             "suggested_truncation = %ld; QBD analysis = %.6f, err "
+             "%.4f%%, ~0.1 ms) ---\n",
+             rho, reference, s.trunc_values[last],
+             suggested_truncation(rho, 1e-10), et_qbd,
+             100.0 * relative_error(et_qbd, reference));
+    table.print(os);
+  }
+}
+
+// --- fit-order: busy-period moment-matching ablation ---------------------
+
+void print_fit_order_view(std::ostream& os, const Scenario& s,
+                          const std::vector<RunResult>& results) {
+  const char* view = "fit-order";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  require(s.fit_orders == std::vector<int>({1, 2, 3}), view,
+          "the fit_order axis [1, 2, 3]");
+  const GridShape shape = shape_of(s);
+  require(shape.ntrunc == 1, view, "no truncation axis");
+  const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
+  const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
+
+  Table table({"k", "mu_I", "mu_E", "rho", "policy", "err 1-moment",
+               "err 2-moment", "err 3-moment"});
+  Accumulator err1_acc, err2_acc, err3_acc;
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    for (std::size_t p = 0; p < shape.npol; ++p) {
+      // The exact chain ignores the fit order (one shared solve under the
+      // canonical cache key); read it from the first fit cell.
+      const double et_exact =
+          results[shape.at(c, 0, 0, p, exact)].mean_response_time;
+      const double e1 = relative_error(
+          results[shape.at(c, 0, 0, p, qbd)].mean_response_time, et_exact);
+      const double e2 = relative_error(
+          results[shape.at(c, 0, 1, p, qbd)].mean_response_time, et_exact);
+      const double e3 = relative_error(
+          results[shape.at(c, 0, 2, p, qbd)].mean_response_time, et_exact);
+      err1_acc.add(e1);
+      err2_acc.add(e2);
+      err3_acc.add(e3);
+      table.add_row({std::to_string(setting.k), format_double(setting.mu_i),
+                     format_double(setting.mu_e), format_double(setting.rho),
+                     s.policies[p], format_double(100.0 * e1, 3) + "%",
+                     format_double(100.0 * e2, 3) + "%",
+                     format_double(100.0 * e3, 3) + "%"});
+    }
+  }
+  table.print(os);
+  osprintf(os,
+           "\nmean error: 1-moment %.3f%%, 2-moment %.3f%%, 3-moment "
+           "%.4f%% — each extra busy-period moment buys roughly an "
+           "order of magnitude, which is why §5.2 matches three.\n",
+           100.0 * err1_acc.mean(), 100.0 * err2_acc.mean(),
+           100.0 * err3_acc.mean());
+}
+
+// --- dominance: Thm. 3 pointwise work-dominance check --------------------
+
+void print_dominance_view(std::ostream& os, const Scenario& s,
+                          const std::vector<RunResult>& results) {
+  const char* view = "dominance";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single (trace) solver and no truncation/fit axes");
+  require(s.solvers.front() == SolverKind::kTraceDominance, view,
+          "the 'trace' solver");
+
+  Table table({"mu_I", "mu_E", "rho", "policy", "max W viol", "max W_I viol",
+               "avg W gap", "checkpoints"});
+  double worst_violation = 0.0;
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    for (std::size_t p = 0; p < shape.npol; ++p) {
+      const RunResult& r = results[shape.at(c, 0, 0, p, 0)];
+      worst_violation = std::max(
+          {worst_violation, r.dom_max_violation, r.dom_max_violation_i});
+      table.add_row({format_double(setting.mu_i), format_double(setting.mu_e),
+                     format_double(setting.rho),
+                     make_policy(s.policies[p])->name(),
+                     format_double(r.dom_max_violation, 3),
+                     format_double(r.dom_max_violation_i, 3),
+                     format_double(r.dom_avg_gap),
+                     std::to_string(r.dom_checkpoints)});
+    }
+  }
+  table.print(os);
+  osprintf(os,
+           "\nworst pointwise violation over all runs: %.3g "
+           "(theory: exactly 0; float error only)\n",
+           worst_violation);
+  osprintf(os, "avg W gap >= 0 everywhere: IF keeps the least work in "
+               "system, as Theorem 3 proves.\n");
+}
+
+}  // namespace
+
+void print_view(const std::string& view, std::ostream& os,
+                const Scenario& scenario, const std::vector<RunPoint>& points,
+                const std::vector<RunResult>& results, const SweepStats& stats,
+                const ViewOptions& options) {
+  if (view == "table") {
+    ESCHED_CHECK(points.size() == results.size(),
+                 "points/results size mismatch");
+    print_sweep_summary(os, points, results, stats, options.max_rows);
+    return;
+  }
+  check_view_inputs(view.c_str(), scenario, points, results);
+  if (view == "heatmap") return print_heatmap_view(os, scenario, results, options);
+  if (view == "vs-mu") return print_vs_mu_view(os, scenario, results, options);
+  if (view == "vs-k") return print_vs_k_view(os, scenario, results, options);
+  if (view == "family") return print_family_view(os, scenario, results, options);
+  if (view == "accuracy") return print_accuracy_view(os, scenario, results);
+  if (view == "tail") return print_tail_view(os, scenario, results);
+  if (view == "truncation") return print_truncation_view(os, scenario, results);
+  if (view == "fit-order") return print_fit_order_view(os, scenario, results);
+  if (view == "dominance") return print_dominance_view(os, scenario, results);
+  std::string all;
+  for (const auto& name : report_view_names()) {
+    if (!all.empty()) all += ", ";
+    all += name;
+  }
+  throw Error("unknown report view '" + view + "' (expected one of: " + all +
+              ")");
+}
+
+std::vector<std::string> report_view_names() {
+  return {"table",  "heatmap",    "vs-mu",     "vs-k",      "family",
+          "accuracy", "tail", "truncation", "fit-order", "dominance"};
 }
 
 }  // namespace esched

@@ -1,6 +1,9 @@
-// Sweep result reporting: CSV and JSON persistence plus a console summary,
-// built on common/csv and common/table so every scenario emits the same
-// uniform schema regardless of which solver produced each row.
+// Sweep result reporting: CSV and JSON persistence plus named console
+// views, built on common/csv and common/table so every scenario emits the
+// same uniform schema regardless of which solver produced each row. The
+// views render the classic figure/study layouts (winner heat maps, vs-k
+// panels, accuracy deltas, tail tables, ...) straight from engine results;
+// the bench harnesses and the CLI's --view flag share them.
 #pragma once
 
 #include <iosfwd>
@@ -11,10 +14,9 @@
 
 namespace esched {
 
-/// The uniform report schema, one row per RunPoint (input order).
-/// Columns: k, rho, mu_i, mu_e, elastic_cap, lambda_i, lambda_e, policy,
-/// solver, et, et_i, et_e, en_i, en_e, ci_halfwidth, boundary_mass,
-/// iterations, residual, solve_seconds, from_cache.
+/// The uniform report schema, one row per RunPoint (input order). Volatile
+/// columns (solve_seconds, from_cache) come last so sharded CSVs can be
+/// compared after stripping them.
 void write_csv_report(const std::string& path,
                       const std::vector<RunPoint>& points,
                       const std::vector<RunResult>& results);
@@ -30,5 +32,52 @@ void write_json_report(const std::string& path,
 void print_sweep_summary(std::ostream& os, const std::vector<RunPoint>& points,
                          const std::vector<RunResult>& results,
                          const SweepStats& stats, std::size_t max_rows = 40);
+
+/// The one-line run trailer ("points: ... | threads: ... | wall: ... s"),
+/// including disk hits when a persistent cache served any. Shared by the
+/// table view and the CLI's non-table renders so the two never drift.
+void print_stats_line(std::ostream& os, const SweepStats& stats);
+
+/// Presentation knobs for the named views. Every field has a generic
+/// default; the figure harnesses pass their historical prose so their
+/// output stays byte-identical to the pre-engine binaries.
+struct ViewOptions {
+  /// heatmap: text before "rho = ..." in each map header (e.g.
+  /// "Figure 4: ").
+  std::string title_prefix;
+  /// vs-mu: note appended inside each per-rho rule (e.g. " (mu_I = 1
+  /// marks mu_I = mu_E; IF optimal to the right)").
+  std::string rho_note;
+  /// vs-k: one label per mu_I panel; defaults to "mu_I = <v>, mu_E = <v>".
+  std::vector<std::string> panel_labels;
+  /// family: display names for the policies (best column / optimality
+  /// footer); defaults to the policy specs.
+  std::vector<std::string> policy_labels;
+  /// family: "E[T] <label>" column headers; defaults to the policy specs.
+  std::vector<std::string> column_labels;
+  /// table: summary row cap.
+  std::size_t max_rows = 40;
+};
+
+/// Renders `results` under the named view:
+///   table      — generic aligned table + run stats (any scenario)
+///   heatmap    — per-rho policy winner maps over the (mu_I, mu_E) grid
+///   vs-mu      — per-rho E[T] tables along the mu_I axis (two policies)
+///   vs-k       — per-mu_I panels of E[T] along the k axis (two policies)
+///   family     — per-case policy-family E[T] + Thm. 5 optimality check
+///   accuracy   — QBD vs exact vs simulation relative errors per case
+///   tail       — per-class P50/P99 response-time percentiles per case
+///   truncation — truncation-level ablation vs deep reference + QBD
+///   fit-order  — busy-period fit-order ablation vs the exact chain
+///   dominance  — Thm. 3 pointwise work-dominance violations and gaps
+/// Throws esched::Error when the scenario lacks the axes a view needs
+/// (the message names the requirement) or the view name is unknown.
+void print_view(const std::string& view, std::ostream& os,
+                const Scenario& scenario, const std::vector<RunPoint>& points,
+                const std::vector<RunResult>& results, const SweepStats& stats,
+                const ViewOptions& options = {});
+
+/// Names accepted by print_view (and the spec files' "view" key).
+std::vector<std::string> report_view_names();
 
 }  // namespace esched

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/numeric.hpp"
 #include "core/policies.hpp"
 
 namespace esched {
@@ -14,6 +15,7 @@ const char* solver_name(SolverKind kind) {
     case SolverKind::kExactCtmc: return "exact";
     case SolverKind::kSimulation: return "sim";
     case SolverKind::kMmkBaseline: return "mmk";
+    case SolverKind::kTraceDominance: return "trace";
   }
   ESCHED_ASSERT(false, "unreachable solver kind");
 }
@@ -23,7 +25,9 @@ SolverKind parse_solver(const std::string& name) {
   if (name == "exact") return SolverKind::kExactCtmc;
   if (name == "sim") return SolverKind::kSimulation;
   if (name == "mmk") return SolverKind::kMmkBaseline;
-  throw Error("unknown solver '" + name + "' (expected qbd|exact|sim|mmk)");
+  if (name == "trace") return SolverKind::kTraceDominance;
+  throw Error("unknown solver '" + name +
+              "' (expected qbd|exact|sim|mmk|trace)");
 }
 
 PolicyPtr make_policy(const std::string& spec) {
@@ -71,44 +75,86 @@ std::string RunPoint::cache_key() const {
   key += ";policy=" + policy;
   key += ";solver=";
   key += solver_name(solver);
-  key += ";fit=" + std::to_string(static_cast<int>(options.fit_order));
-  key += ";eps=" + key_double(options.truncation_epsilon);
-  key += ";imax=" + std::to_string(options.imax);
-  key += ";jmax=" + std::to_string(options.jmax);
-  key += ";jobs=" + std::to_string(options.sim_jobs);
-  key += ";warmup=" + std::to_string(options.sim_warmup);
-  key += ";seed=" + std::to_string(options.base_seed);
+  // Backend-sensitive suffix: only knobs this solver actually reads, so an
+  // axis a backend ignores (e.g. fit_order for 'exact') shares one solve.
+  switch (solver) {
+    case SolverKind::kQbdAnalysis:
+      key += ";fit=" + std::to_string(static_cast<int>(options.fit_order));
+      break;
+    case SolverKind::kExactCtmc:
+      key += ";eps=" + key_double(options.truncation_epsilon);
+      key += ";imax=" + std::to_string(options.imax);
+      key += ";jmax=" + std::to_string(options.jmax);
+      break;
+    case SolverKind::kSimulation:
+      key += ";jobs=" + std::to_string(options.sim_jobs);
+      key += ";warmup=" + std::to_string(options.sim_warmup);
+      key += ";seed=" + std::to_string(options.base_seed);
+      key += options.sim_raw_seed ? ";raw=1" : ";raw=0";
+      if (options.sim_tails) {
+        key += ";tails=1;span=" + key_double(options.sim_tail_span);
+        key += ";bins=" + std::to_string(options.sim_tail_bins);
+      }
+      break;
+    case SolverKind::kMmkBaseline: break;
+    case SolverKind::kTraceDominance:
+      key += ";horizon=" + key_double(options.trace_horizon);
+      key += ";tseed=" + std::to_string(options.trace_seed);
+      break;
+  }
   return key;
 }
 
 std::uint64_t RunPoint::seed() const {
   // FNV-1a over the canonical key: platform-independent and stable, so a
   // point's RNG stream never depends on scheduling order or thread count.
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : cache_key()) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
+  const std::uint64_t h = fnv1a64(cache_key());
   return h == 0 ? 1 : h;  // xoshiro-style generators reject all-zero seeds
 }
 
 std::size_t Scenario::num_points() const {
-  return k_values.size() * rho_values.size() * mu_i_values.size() *
-         mu_e_values.size() * elastic_caps.size() * policies.size() *
-         solvers.size();
+  const std::size_t param_cells =
+      cases.empty() ? k_values.size() * rho_values.size() *
+                          mu_i_values.size() * mu_e_values.size() *
+                          elastic_caps.size()
+                    : cases.size();
+  const std::size_t truncs = trunc_values.empty() ? 1 : trunc_values.size();
+  const std::size_t fits = fit_orders.empty() ? 1 : fit_orders.size();
+  return param_cells * truncs * fits * policies.size() * solvers.size();
 }
 
 void Scenario::validate() const {
-  ESCHED_CHECK(!k_values.empty() && !rho_values.empty() &&
-                   !mu_i_values.empty() && !mu_e_values.empty() &&
-                   !elastic_caps.empty() && !policies.empty() &&
-                   !solvers.empty(),
+  if (cases.empty()) {
+    ESCHED_CHECK(!k_values.empty() && !rho_values.empty() &&
+                     !mu_i_values.empty() && !mu_e_values.empty() &&
+                     !elastic_caps.empty(),
+                 "scenario '" + name + "' has an empty axis");
+  }
+  ESCHED_CHECK(!policies.empty() && !solvers.empty(),
                "scenario '" + name + "' has an empty axis");
+  for (const auto& spec : policies) make_policy(spec);  // throws if unknown
+  for (const long trunc : trunc_values) {
+    ESCHED_CHECK(trunc >= 1,
+                 "scenario '" + name + "': truncation levels must be >= 1");
+  }
+  for (const int fit : fit_orders) {
+    ESCHED_CHECK(fit >= 1 && fit <= 3,
+                 "scenario '" + name + "': fit_order must be 1, 2, or 3");
+  }
+  if (!cases.empty()) {
+    for (const CaseSpec& c : cases) {
+      ESCHED_CHECK(c.rho >= 0.0 && c.rho < 1.0,
+                   "scenario '" + name + "': rho must be in [0,1)");
+      SystemParams p = SystemParams::from_load(c.k, c.mu_i, c.mu_e, c.rho);
+      p.elastic_cap = c.elastic_cap;
+      p.validate();
+    }
+    return;
+  }
   for (const double rho : rho_values) {
     ESCHED_CHECK(rho >= 0.0 && rho < 1.0,
                  "scenario '" + name + "': rho must be in [0,1)");
   }
-  for (const auto& spec : policies) make_policy(spec);  // throws if unknown
   for (const int k : k_values) {
     for (const double mu_i : mu_i_values) {
       for (const double mu_e : mu_e_values) {
@@ -124,20 +170,50 @@ void Scenario::validate() const {
 
 std::vector<RunPoint> Scenario::expand() const {
   validate();
+
+  std::vector<SystemParams> cells;
+  if (cases.empty()) {
+    cells.reserve(k_values.size() * rho_values.size() * mu_i_values.size() *
+                  mu_e_values.size() * elastic_caps.size());
+    for (const int k : k_values) {
+      for (const double rho : rho_values) {
+        for (const double mu_i : mu_i_values) {
+          for (const double mu_e : mu_e_values) {
+            for (const int cap : elastic_caps) {
+              SystemParams p = SystemParams::from_load(k, mu_i, mu_e, rho);
+              p.elastic_cap = cap;
+              cells.push_back(p);
+            }
+          }
+        }
+      }
+    }
+  } else {
+    cells.reserve(cases.size());
+    for (const CaseSpec& c : cases) {
+      SystemParams p = SystemParams::from_load(c.k, c.mu_i, c.mu_e, c.rho);
+      p.elastic_cap = c.elastic_cap;
+      cells.push_back(p);
+    }
+  }
+
+  // Sentinel-extended optional axes: one pass with "leave options alone".
+  const std::vector<long> truncs =
+      trunc_values.empty() ? std::vector<long>{0} : trunc_values;
+  const std::vector<int> fits =
+      fit_orders.empty() ? std::vector<int>{0} : fit_orders;
+
   std::vector<RunPoint> points;
   points.reserve(num_points());
-  for (const int k : k_values) {
-    for (const double rho : rho_values) {
-      for (const double mu_i : mu_i_values) {
-        for (const double mu_e : mu_e_values) {
-          for (const int cap : elastic_caps) {
-            SystemParams p = SystemParams::from_load(k, mu_i, mu_e, rho);
-            p.elastic_cap = cap;
-            for (const auto& policy : policies) {
-              for (const SolverKind solver : solvers) {
-                points.push_back(RunPoint{p, policy, solver, options});
-              }
-            }
+  for (const SystemParams& p : cells) {
+    for (const long trunc : truncs) {
+      for (const int fit : fits) {
+        RunOptions point_options = options;
+        if (trunc > 0) point_options.imax = point_options.jmax = trunc;
+        if (fit > 0) point_options.fit_order = static_cast<BusyFitOrder>(fit);
+        for (const auto& policy : policies) {
+          for (const SolverKind solver : solvers) {
+            points.push_back(RunPoint{p, policy, solver, point_options});
           }
         }
       }
@@ -146,71 +222,6 @@ std::vector<RunPoint> Scenario::expand() const {
   ESCHED_ASSERT(points.size() == num_points(),
                 "grid expansion size mismatch");
   return points;
-}
-
-namespace {
-
-/// The 0.25-step mu grid of Figures 4 and 5.
-std::vector<double> mu_grid() {
-  std::vector<double> grid;
-  for (double mu = 0.25; mu <= 3.5 + 1e-9; mu += 0.25) grid.push_back(mu);
-  return grid;
-}
-
-}  // namespace
-
-Scenario builtin_scenario(const std::string& name) {
-  Scenario s;
-  s.name = name;
-  if (name == "fig4") {
-    s.description =
-        "Fig. 4 winner maps: IF vs EF (QBD analysis) over the (mu_I, mu_E) "
-        "grid at rho = 0.5, 0.7, 0.9, k = 4";
-    s.rho_values = {0.5, 0.7, 0.9};
-    s.mu_i_values = mu_grid();
-    s.mu_e_values = mu_grid();
-    return s;
-  }
-  if (name == "fig5") {
-    s.description =
-        "Fig. 5 response-time curves: E[T] under IF and EF vs mu_I "
-        "(k = 4, mu_E = 1) at rho = 0.5, 0.7, 0.9";
-    s.rho_values = {0.5, 0.7, 0.9};
-    s.mu_i_values = mu_grid();
-    return s;
-  }
-  if (name == "fig6") {
-    s.description =
-        "Fig. 6 scaling: E[T] under IF and EF vs k = 2..16 at rho = 0.9 "
-        "for mu_I in {0.25, 3.25}, mu_E = 1";
-    s.k_values.clear();
-    for (int k = 2; k <= 16; ++k) s.k_values.push_back(k);
-    s.mu_i_values = {0.25, 3.25};
-    return s;
-  }
-  if (name == "optimality-sweep") {
-    s.description =
-        "§4 optimality check: exact truncated-CTMC E[T] for the policy "
-        "family {IF, EF, FairShare, Cap2, IF+idle1} (Thm. 5 / App. B)";
-    s.rho_values = {0.5, 0.9};
-    s.mu_i_values = {0.25, 1.0, 3.25};
-    s.policies = {"IF", "EF", "FairShare", "Cap2", "IF+idle1"};
-    s.solvers = {SolverKind::kExactCtmc};
-    s.options.truncation_epsilon = 1e-8;
-    return s;
-  }
-  throw Error("unknown scenario '" + name + "'; try one of: " + [] {
-    std::string all;
-    for (const auto& n : builtin_scenario_names()) {
-      if (!all.empty()) all += ", ";
-      all += n;
-    }
-    return all;
-  }());
-}
-
-std::vector<std::string> builtin_scenario_names() {
-  return {"fig4", "fig5", "fig6", "optimality-sweep"};
 }
 
 }  // namespace esched

@@ -1,11 +1,14 @@
 // Declarative scenario specs for the parallel sweep engine.
 //
 // Every experiment in the paper (Figs. 4-6, the §4 optimality sweeps) is a
-// parameter sweep over (k, rho, mu_I, mu_E, policy, solver). Instead of
-// each harness hand-rolling nested loops, a Scenario names the axes and
+// parameter sweep over (k, rho, mu_I, mu_E, policy, solver) — plus, for the
+// ablation studies, the truncation level and busy-period fit order. Instead
+// of each harness hand-rolling nested loops, a Scenario names the axes and
 // expand() produces the cross product as concrete RunPoints that the
-// SweepRunner executes on all cores. Built-in scenarios reproduce the
-// paper's figures; future work loads scenarios from disk.
+// SweepRunner executes on all cores. Scenarios are data: built-ins are
+// registered as embedded JSON specs (engine/spec) and user scenarios load
+// from disk through the same parser, so there is exactly one construction
+// path and new workloads need no recompile.
 #pragma once
 
 #include <cstdint>
@@ -20,17 +23,18 @@ namespace esched {
 
 /// Which solver backend evaluates a RunPoint.
 enum class SolverKind {
-  kQbdAnalysis,  ///< §5 busy-period transformation + QBD (EF/IF only)
-  kExactCtmc,    ///< truncated 2-D chain (any policy; ground truth)
-  kSimulation,   ///< job-level discrete-event simulator
-  kMmkBaseline,  ///< dedicated-cluster M/M/k / M/M/1 closed forms
+  kQbdAnalysis,     ///< §5 busy-period transformation + QBD (EF/IF only)
+  kExactCtmc,       ///< truncated 2-D chain (any policy; ground truth)
+  kSimulation,      ///< job-level discrete-event simulator
+  kMmkBaseline,     ///< dedicated-cluster M/M/k / M/M/1 closed forms
+  kTraceDominance,  ///< Thm. 3 coupled trace replay: policy vs IF work paths
 };
 
 /// Stable identifier used in CLI flags, CSV output, and cache keys.
 const char* solver_name(SolverKind kind);
 
-/// Inverse of solver_name ("qbd", "exact", "sim", "mmk"). Throws on an
-/// unknown name.
+/// Inverse of solver_name ("qbd", "exact", "sim", "mmk", "trace"). Throws
+/// on an unknown name.
 SolverKind parse_solver(const std::string& name);
 
 /// Builds a policy from its spec string: "IF", "EF", "FairShare", "CapN"
@@ -38,8 +42,9 @@ SolverKind parse_solver(const std::string& name);
 /// number of deliberately idled servers). Throws on an unknown spec.
 PolicyPtr make_policy(const std::string& spec);
 
-/// Per-run knobs shared by every point of a scenario. All fields take part
-/// in the cache key, so changing any of them re-solves.
+/// Per-run knobs shared by every point of a scenario. Only the fields the
+/// point's solver reads take part in its cache key (see cache_key()), so
+/// e.g. an exact-CTMC point is shared across fit-order axis values.
 struct RunOptions {
   /// Busy-period moment-matching order for the QBD analyses.
   BusyFitOrder fit_order = BusyFitOrder::kThreeMoment;
@@ -53,6 +58,21 @@ struct RunOptions {
   /// Base seed; each point derives its own deterministic seed from this
   /// and its cache key, so results are independent of thread count.
   std::uint64_t base_seed = 1;
+  /// Use base_seed directly as the simulation seed instead of deriving a
+  /// per-point seed (matches the fixed-seed pre-engine harnesses).
+  bool sim_raw_seed = false;
+  /// Collect response-time histograms and fill the RunResult tail
+  /// percentiles (P50/P95/P99 per class).
+  bool sim_tails = false;
+  /// Tail histogram shape: per class c the range is [0, sim_tail_span /
+  /// mu_c) with sim_tail_bins uniform bins (quantiles interpolate within
+  /// bins, so the span is generous and the bins fine).
+  double sim_tail_span = 400.0;
+  long sim_tail_bins = 20000;
+  /// Trace-dominance controls (kTraceDominance only): the fixed arrival
+  /// sequence is generated on [0, trace_horizon] from trace_seed.
+  double trace_horizon = 1500.0;
+  std::uint64_t trace_seed = 2026;
 };
 
 /// One concrete (params, policy, solver) cell of a sweep.
@@ -63,7 +83,10 @@ struct RunPoint {
   RunOptions options;
 
   /// Canonical key identifying this point for memoization: two points with
-  /// equal keys are guaranteed to produce identical results.
+  /// equal keys are guaranteed to produce identical results. The key is
+  /// backend-sensitive — options a solver never reads are omitted — so
+  /// e.g. the one QBD solve of an (params, policy) pair is shared across
+  /// every truncation-axis value of an ablation sweep.
   std::string cache_key() const;
 
   /// Deterministic per-point RNG seed (FNV-1a hash of the cache key),
@@ -71,10 +94,23 @@ struct RunPoint {
   std::uint64_t seed() const;
 };
 
+/// One explicit (k, mu_I, mu_E, rho) spot setting. Scenarios whose
+/// interesting points are hand-picked (the §4 optimality table, the
+/// accuracy spot grid) list cases instead of spanning a cross product.
+struct CaseSpec {
+  int k = 4;
+  double mu_i = 1.0;
+  double mu_e = 1.0;
+  double rho = 0.9;
+  int elastic_cap = 0;
+};
+
 /// Declarative sweep spec: expand() emits the cross product of the axes in
-/// row-major order (k, rho, mu_i, mu_e, elastic_cap, policy, solver).
-/// Arrival rates are split equally (lambda_I = lambda_E), the convention of
-/// the paper's figures, via SystemParams::from_load.
+/// row-major order (k, rho, mu_i, mu_e, elastic_cap, truncation,
+/// fit_order, policy, solver), with `cases` — when non-empty — replacing
+/// the first five parameter axes by its explicit settings list. Arrival
+/// rates are split equally (lambda_I = lambda_E), the convention of the
+/// paper's figures, via SystemParams::from_load.
 struct Scenario {
   std::string name = "custom";
   std::string description;
@@ -83,9 +119,19 @@ struct Scenario {
   std::vector<double> mu_i_values{1.0};
   std::vector<double> mu_e_values{1.0};
   std::vector<int> elastic_caps{0};
+  /// Explicit settings; non-empty replaces the k/rho/mu/cap axes above.
+  std::vector<CaseSpec> cases;
+  /// Optional truncation axis (sets options.imax = options.jmax per
+  /// point); empty means "no axis" (use the scenario options).
+  std::vector<long> trunc_values;
+  /// Optional busy-period fit-order axis (values 1..3); empty means "no
+  /// axis" (use options.fit_order).
+  std::vector<int> fit_orders;
   std::vector<std::string> policies{"IF", "EF"};
   std::vector<SolverKind> solvers{SolverKind::kQbdAnalysis};
   RunOptions options;
+  /// Default report view (see engine/report print_view); CLI --view wins.
+  std::string view = "table";
 
   /// Product of the axis sizes; equals expand().size().
   std::size_t num_points() const;
@@ -96,8 +142,10 @@ struct Scenario {
   void validate() const;
 };
 
-/// Named built-in scenarios: "fig4", "fig5", "fig6", "optimality-sweep".
-/// Throws on an unknown name.
+/// Named built-in scenarios, registered as embedded JSON specs through the
+/// same loader as user files (engine/spec): "fig4", "fig5", "fig6",
+/// "optimality-sweep", plus one per ported bench harness. Throws on an
+/// unknown name.
 Scenario builtin_scenario(const std::string& name);
 std::vector<std::string> builtin_scenario_names();
 

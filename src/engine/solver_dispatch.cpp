@@ -1,17 +1,28 @@
 #include "engine/solver_dispatch.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "common/error.hpp"
 #include "core/ef_analysis.hpp"
 #include "core/exact_ctmc.hpp"
 #include "core/if_analysis.hpp"
+#include "core/policies.hpp"
 #include "queueing/mmk.hpp"
 #include "sim/cluster_sim.hpp"
+#include "sim/coupled.hpp"
+#include "sim/trace.hpp"
+#include "stats/histogram.hpp"
 
 namespace esched {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 RunResult run_qbd_analysis(const RunPoint& point) {
   ESCHED_CHECK(point.params.elastic_cap == 0,
@@ -36,15 +47,18 @@ RunResult run_qbd_analysis(const RunPoint& point) {
   return result;
 }
 
-RunResult run_exact_ctmc(const RunPoint& point) {
+/// The (imax, jmax) an exact-CTMC point actually solves with: explicit
+/// levels win; 0 derives from (rho, truncation_epsilon).
+ExactCtmcOptions resolve_exact_options(const RunPoint& point) {
   ExactCtmcOptions options;
-  const long derived =
-      suggested_truncation(point.params.rho(), point.options.truncation_epsilon);
+  const long derived = suggested_truncation(point.params.rho(),
+                                            point.options.truncation_epsilon);
   options.imax = point.options.imax > 0 ? point.options.imax : derived;
   options.jmax = point.options.jmax > 0 ? point.options.jmax : derived;
-  const auto policy = make_policy(point.policy);
-  const ExactCtmcResult exact =
-      solve_exact_ctmc(point.params, *policy, options);
+  return options;
+}
+
+RunResult exact_to_run_result(const ExactCtmcResult& exact) {
   RunResult result;
   result.mean_response_time = exact.mean_response_time;
   result.mean_response_time_i = exact.mean_response_time_i;
@@ -52,16 +66,37 @@ RunResult run_exact_ctmc(const RunPoint& point) {
   result.mean_jobs_i = exact.mean_jobs_i;
   result.mean_jobs_e = exact.mean_jobs_e;
   result.boundary_mass = exact.boundary_mass;
+  result.num_states = static_cast<long>(exact.num_states);
   result.solver_iterations = exact.solve_info.iterations;
   result.solve_residual = exact.solve_info.residual;
   return result;
+}
+
+RunResult run_exact_ctmc(const RunPoint& point) {
+  const auto policy = make_policy(point.policy);
+  const ExactCtmcResult exact =
+      solve_exact_ctmc(point.params, *policy, resolve_exact_options(point));
+  return exact_to_run_result(exact);
 }
 
 RunResult run_simulation(const RunPoint& point) {
   SimOptions options;
   options.num_jobs = point.options.sim_jobs;
   options.warmup_jobs = point.options.sim_warmup;
-  options.seed = point.seed();
+  // Raw seeding reproduces the fixed-seed pre-engine harnesses; derived
+  // seeding keeps distinct points on independent streams.
+  options.seed = point.options.sim_raw_seed ? point.options.base_seed
+                                            : point.seed();
+  std::optional<Histogram> hist_i;
+  std::optional<Histogram> hist_e;
+  if (point.options.sim_tails) {
+    const auto bins = static_cast<std::size_t>(point.options.sim_tail_bins);
+    // Generous range; quantiles interpolate within bins.
+    hist_i.emplace(0.0, point.options.sim_tail_span / point.params.mu_i, bins);
+    hist_e.emplace(0.0, point.options.sim_tail_span / point.params.mu_e, bins);
+    options.response_hist_i = &*hist_i;
+    options.response_hist_e = &*hist_e;
+  }
   const auto policy = make_policy(point.policy);
   const SimResult sim = simulate(point.params, *policy, options);
   RunResult result;
@@ -71,6 +106,14 @@ RunResult run_simulation(const RunPoint& point) {
   result.mean_jobs_i = sim.mean_jobs_i;
   result.mean_jobs_e = sim.mean_jobs_e;
   result.ci_halfwidth = sim.mean_response_time.half_width;
+  if (point.options.sim_tails) {
+    result.p50_i = hist_i->quantile(0.5);
+    result.p95_i = hist_i->quantile(0.95);
+    result.p99_i = hist_i->quantile(0.99);
+    result.p50_e = hist_e->quantile(0.5);
+    result.p95_e = hist_e->quantile(0.95);
+    result.p99_e = hist_e->quantile(0.99);
+  }
   return result;
 }
 
@@ -100,21 +143,77 @@ RunResult run_mmk_baseline(const RunPoint& point) {
   return result;
 }
 
+/// Theorem 3 check: replay one fixed trace under IF and under this point's
+/// policy, compare the exact piecewise-linear work paths pointwise, and
+/// average the work gap over the horizon. The trace derives only from
+/// (params, trace_horizon, trace_seed), so every policy of a sweep is
+/// coupled to the same arrival sequence — the theorem's setting.
+RunResult run_trace_dominance(const RunPoint& point) {
+  // Uniform sampling grid for the average gap W_pi(t) - W_IF(t).
+  constexpr int kGapSamples = 4000;
+  const Trace trace = generate_trace(point.params,
+                                     point.options.trace_horizon,
+                                     point.options.trace_seed);
+  const WorkPath if_path = run_on_trace(trace, point.params, InelasticFirst{});
+  const auto policy = make_policy(point.policy);
+  const WorkPath other = run_on_trace(trace, point.params, *policy);
+  const DominanceReport report = check_dominance(if_path, other);
+
+  RunResult result;
+  result.dom_max_violation = report.max_total_violation;
+  result.dom_max_violation_i = report.max_inelastic_violation;
+  result.dom_checkpoints = static_cast<long>(report.num_checkpoints);
+  double gap = 0.0;
+  for (int n = 0; n < kGapSamples; ++n) {
+    const double t =
+        point.options.trace_horizon * (n + 0.5) / kGapSamples;
+    gap += other.total_work_at(t) - if_path.total_work_at(t);
+  }
+  result.dom_avg_gap = gap / kGapSamples;
+  return result;
+}
+
 }  // namespace
 
 RunResult dispatch_run(const RunPoint& point) {
   point.params.validate();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = Clock::now();
   RunResult result;
   switch (point.solver) {
     case SolverKind::kQbdAnalysis: result = run_qbd_analysis(point); break;
     case SolverKind::kExactCtmc: result = run_exact_ctmc(point); break;
     case SolverKind::kSimulation: result = run_simulation(point); break;
     case SolverKind::kMmkBaseline: result = run_mmk_baseline(point); break;
+    case SolverKind::kTraceDominance:
+      result = run_trace_dominance(point);
+      break;
   }
-  result.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.solve_seconds = seconds_since(start);
+  return result;
+}
+
+std::string exact_topology_key(const RunPoint& point) {
+  if (point.solver != SolverKind::kExactCtmc) return {};
+  // The cache key minus the policy field: exactly the inputs that shape
+  // the chain topology (params + resolved truncation).
+  RunPoint keyed = point;
+  keyed.policy = "*";
+  return keyed.cache_key();
+}
+
+ExactGroupSolver::ExactGroupSolver(const RunPoint& representative)
+    : topology_key_(exact_topology_key(representative)),
+      batch_(representative.params, resolve_exact_options(representative)) {
+  ESCHED_CHECK(!topology_key_.empty(),
+               "exact group requires exact-CTMC points");
+}
+
+RunResult ExactGroupSolver::solve(const RunPoint& point) const {
+  ESCHED_CHECK(exact_topology_key(point) == topology_key_,
+               "exact group mixes chain topologies");
+  const auto start = Clock::now();
+  RunResult result = exact_to_run_result(batch_.solve(*make_policy(point.policy)));
+  result.solve_seconds = seconds_since(start);
   return result;
 }
 

@@ -1,10 +1,15 @@
 // Unified solver dispatch: one entry point that routes a RunPoint to the
 // right backend (QBD analysis, exact truncated CTMC, discrete-event
-// simulation, or the M/M/k closed forms) and normalizes the output into a
-// single RunResult shape, so sweeps can mix solvers freely and reports
-// never care which backend produced a row.
+// simulation, the M/M/k closed forms, or the Theorem-3 coupled trace
+// replay) and normalizes the output into a single RunResult shape, so
+// sweeps can mix solvers freely and reports never care which backend
+// produced a row.
 #pragma once
 
+#include <string>
+#include <vector>
+
+#include "core/exact_ctmc.hpp"
 #include "engine/scenario.hpp"
 
 namespace esched {
@@ -20,8 +25,26 @@ struct RunResult {
 
   /// Simulation only: half-width of the 95% CI on overall E[T].
   double ci_halfwidth = 0.0;
-  /// Exact CTMC only: stationary mass on the truncation boundary.
+  /// Simulation with options.sim_tails: response-time percentiles per
+  /// class (the distributional view the paper's mean-only analysis lacks).
+  double p50_i = 0.0;
+  double p95_i = 0.0;
+  double p99_i = 0.0;
+  double p50_e = 0.0;
+  double p95_e = 0.0;
+  double p99_e = 0.0;
+  /// Exact CTMC only: stationary mass on the truncation boundary and the
+  /// truncated state-space size.
   double boundary_mass = 0.0;
+  long num_states = 0;
+  /// Trace dominance only (Thm. 3): worst pointwise excess of IF's work
+  /// path over this point's policy (theory: 0), same for inelastic work,
+  /// the mean work gap W_pi(t) - W_IF(t) over the horizon, and the number
+  /// of time checkpoints compared.
+  double dom_max_violation = 0.0;
+  double dom_max_violation_i = 0.0;
+  double dom_avg_gap = 0.0;
+  long dom_checkpoints = 0;
 
   // Solver cost, recorded per point.
   int solver_iterations = 0;    ///< SOR sweeps or QBD fixed-point iterations
@@ -37,8 +60,15 @@ struct RunResult {
            a.mean_response_time_i == b.mean_response_time_i &&
            a.mean_response_time_e == b.mean_response_time_e &&
            a.mean_jobs_i == b.mean_jobs_i && a.mean_jobs_e == b.mean_jobs_e &&
-           a.ci_halfwidth == b.ci_halfwidth &&
+           a.ci_halfwidth == b.ci_halfwidth && a.p50_i == b.p50_i &&
+           a.p95_i == b.p95_i && a.p99_i == b.p99_i && a.p50_e == b.p50_e &&
+           a.p95_e == b.p95_e && a.p99_e == b.p99_e &&
            a.boundary_mass == b.boundary_mass &&
+           a.num_states == b.num_states &&
+           a.dom_max_violation == b.dom_max_violation &&
+           a.dom_max_violation_i == b.dom_max_violation_i &&
+           a.dom_avg_gap == b.dom_avg_gap &&
+           a.dom_checkpoints == b.dom_checkpoints &&
            a.solver_iterations == b.solver_iterations &&
            a.solve_residual == b.solve_residual;
   }
@@ -50,5 +80,29 @@ struct RunResult {
 /// esched::Error on invalid combinations (e.g. the QBD analyses support
 /// only EF/IF on the base model).
 RunResult dispatch_run(const RunPoint& point);
+
+/// Chain-topology sharing key for exact-CTMC points: two points with equal
+/// non-empty keys have identical (params, truncation) and can be solved in
+/// one ExactCtmcBatch — only their policies differ. Empty for every other
+/// backend.
+std::string exact_topology_key(const RunPoint& point);
+
+/// Solves exact-CTMC points that share a topology key, building the chain
+/// skeleton once at construction. solve(point) is bitwise identical to
+/// dispatch_run(point) apart from solve_seconds, and throws per point, so
+/// a caller iterating a group can attribute failures to the right point
+/// and keep the results that did solve.
+class ExactGroupSolver {
+ public:
+  /// Builds the shared skeleton from any point of the group.
+  explicit ExactGroupSolver(const RunPoint& representative);
+
+  /// `point` must share the representative's topology key.
+  RunResult solve(const RunPoint& point) const;
+
+ private:
+  std::string topology_key_;
+  ExactCtmcBatch batch_;
+};
 
 }  // namespace esched

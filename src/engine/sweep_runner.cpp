@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "engine/disk_cache.hpp"
 
 namespace esched {
 
@@ -38,45 +39,109 @@ SweepRunner::SweepRunner(int num_threads) : num_threads_(num_threads) {
   }
 }
 
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::set_cache_dir(const std::string& directory) {
+  disk_cache_ = std::make_unique<DiskResultCache>(directory);
+}
+
 std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
                                         SweepStats* stats) {
   const auto start = std::chrono::steady_clock::now();
 
   // Deduplicate: first occurrence of each uncached key becomes a job, so a
-  // point repeated across figure axes solves exactly once.
+  // point repeated across figure axes solves exactly once. Memory misses
+  // consult the disk cache before becoming jobs.
   std::vector<std::string> keys;
   keys.reserve(points.size());
   std::vector<std::size_t> jobs;  // indices into `points` to solve now
   std::unordered_map<std::string, std::size_t> seen;
+  std::size_t disk_hits = 0;
   for (std::size_t n = 0; n < points.size(); ++n) {
     keys.push_back(points[n].cache_key());
     if (seen.count(keys.back()) != 0 || cache_.lookup(keys.back())) continue;
+    if (disk_cache_ != nullptr) {
+      if (auto loaded = disk_cache_->load(keys.back())) {
+        cache_.insert(keys.back(), *loaded);
+        ++disk_hits;
+        continue;
+      }
+    }
     seen.emplace(keys.back(), n);
     jobs.push_back(n);
   }
 
-  // Fan the unique jobs over the pool via an atomic work index. Each job is
-  // independent and pure, so completion order cannot affect the results.
-  std::atomic<std::size_t> next_job{0};
+  // Group jobs before fanning out: exact-CTMC points that share a chain
+  // topology (same params + truncation, different policies) become one
+  // batch job and reuse a single generator skeleton; everything else is a
+  // singleton. Batching preserves results bitwise (see ExactCtmcBatch).
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(jobs.size());
+  std::unordered_map<std::string, std::size_t> topology_groups;
+  for (const std::size_t n : jobs) {
+    const std::string topology = exact_topology_key(points[n]);
+    if (topology.empty()) {
+      groups.push_back({n});
+      continue;
+    }
+    const auto [it, inserted] = topology_groups.emplace(topology, groups.size());
+    if (inserted) {
+      groups.push_back({n});
+    } else {
+      groups[it->second].push_back(n);
+    }
+  }
+
+  // Fan the job groups over the pool via an atomic work index. Each point's
+  // solve is independent and pure, so completion order cannot affect the
+  // results.
+  std::atomic<std::size_t> next_group{0};
   std::mutex error_mutex;
   std::string first_error;
+  const auto record_error = [&](const std::string& key, const char* what) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.empty()) {
+      first_error = "sweep point '" + key + "' failed: " + what;
+    }
+  };
+  const auto store = [&](std::size_t n, const RunResult& result) {
+    cache_.insert(keys[n], result);
+    if (disk_cache_ != nullptr) disk_cache_->store(keys[n], result);
+  };
   const auto worker = [&] {
     for (;;) {
-      const std::size_t job = next_job.fetch_add(1);
-      if (job >= jobs.size()) return;
-      const std::size_t n = jobs[job];
-      try {
-        cache_.insert(keys[n], dispatch_run(points[n]));
-      } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.empty()) {
-          first_error = "sweep point '" + keys[n] + "' failed: " + e.what();
+      const std::size_t g = next_group.fetch_add(1);
+      if (g >= groups.size()) return;
+      const std::vector<std::size_t>& group = groups[g];
+      if (group.size() == 1) {
+        const std::size_t n = group.front();
+        try {
+          store(n, dispatch_run(points[n]));
+        } catch (const std::exception& e) {
+          record_error(keys[n], e.what());
         }
+        continue;
+      }
+      // Shared-topology batch: build the chain skeleton once, then solve
+      // and store per point so one failing policy neither loses the
+      // others' results nor gets blamed on the wrong point. A skeleton
+      // construction failure (invalid params) is shared by every member.
+      try {
+        const ExactGroupSolver solver(points[group.front()]);
+        for (const std::size_t n : group) {
+          try {
+            store(n, solver.solve(points[n]));
+          } catch (const std::exception& e) {
+            record_error(keys[n], e.what());
+          }
+        }
+      } catch (const std::exception& e) {
+        record_error(keys[group.front()], e.what());
       }
     }
   };
   const int pool_size =
-      static_cast<int>(std::min<std::size_t>(jobs.size(),
+      static_cast<int>(std::min<std::size_t>(groups.size(),
                                              static_cast<std::size_t>(num_threads_)));
   if (pool_size <= 1) {
     worker();
@@ -98,7 +163,8 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
     ESCHED_ASSERT(cached.has_value(), "sweep result missing from cache");
     RunResult result = *cached;
     // The first solve of a point this call is fresh; everything else —
-    // intra-call duplicates and prior-call results — is a cache hit.
+    // intra-call duplicates, prior-call results, disk loads — is a cache
+    // hit.
     const auto it = solved_now.find(keys[n]);
     result.from_cache = it == solved_now.end() || !it->second;
     if (it != solved_now.end()) it->second = false;
@@ -110,6 +176,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
     stats->total_points = points.size();
     stats->solved_points = jobs.size();
     stats->cache_hits = cache_hits;
+    stats->disk_hits = disk_hits;
     stats->threads_used = pool_size;
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

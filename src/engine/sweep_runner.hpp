@@ -5,11 +5,15 @@
 // std::thread worker pool, and returns results in input order. A
 // mutex-guarded cache persists across run() calls, so repeated points —
 // e.g. shared rho-axis baselines across figures — solve exactly once per
-// process. Results are deterministic in the thread count: each point's
-// solve is pure and its RNG seed derives from its cache key, never from
-// scheduling order.
+// process; an optional disk cache (set_cache_dir) extends that across
+// processes and CLI invocations. Exact-CTMC points sharing a chain
+// topology (same params + truncation, different policies) are solved as
+// one batch so the generator skeleton builds once. Results are
+// deterministic in the thread count: each point's solve is pure and its
+// RNG seed derives from its cache key, never from scheduling order.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -19,6 +23,8 @@
 #include "engine/solver_dispatch.hpp"
 
 namespace esched {
+
+class DiskResultCache;
 
 /// Thread-safe memoization cache keyed on RunPoint::cache_key().
 class ResultCache {
@@ -38,6 +44,7 @@ struct SweepStats {
   std::size_t total_points = 0;   ///< points requested
   std::size_t solved_points = 0;  ///< unique points actually solved now
   std::size_t cache_hits = 0;     ///< points served from the memo cache
+  std::size_t disk_hits = 0;      ///< of cache_hits, loaded from --cache-dir
   double wall_seconds = 0.0;      ///< end-to-end wall time of run()
   int threads_used = 0;
 };
@@ -47,14 +54,20 @@ struct SweepStats {
 class SweepRunner {
  public:
   explicit SweepRunner(int num_threads = 0);
+  ~SweepRunner();
 
-  /// Solves every point (consulting/filling the cache) and returns results
-  /// in input order. `from_cache` is set on results that were memoized —
-  /// including intra-call duplicates, which solve once. If any point's
-  /// solve throws, the first error is re-thrown after all workers join;
-  /// successfully solved points stay cached.
+  /// Solves every point (consulting/filling the caches) and returns
+  /// results in input order. `from_cache` is set on results that were
+  /// memoized — including intra-call duplicates, which solve once. If any
+  /// point's solve throws, the first error is re-thrown after all workers
+  /// join; successfully solved points stay cached.
   std::vector<RunResult> run(const std::vector<RunPoint>& points,
                              SweepStats* stats = nullptr);
+
+  /// Attaches a persistent cache directory (created if missing): memory
+  /// misses consult disk before solving, and fresh solves are written
+  /// back. Throws when the directory cannot be created.
+  void set_cache_dir(const std::string& directory);
 
   int num_threads() const { return num_threads_; }
   ResultCache& cache() { return cache_; }
@@ -63,6 +76,7 @@ class SweepRunner {
  private:
   int num_threads_;
   ResultCache cache_;
+  std::unique_ptr<DiskResultCache> disk_cache_;
 };
 
 }  // namespace esched

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -12,6 +13,7 @@
 #include "core/ef_analysis.hpp"
 #include "core/exact_ctmc.hpp"
 #include "core/policies.hpp"
+#include "engine/disk_cache.hpp"
 #include "engine/report.hpp"
 #include "engine/scenario.hpp"
 #include "engine/solver_dispatch.hpp"
@@ -73,21 +75,87 @@ TEST(Scenario, BuiltinsExpandToExpectedSizes) {
   EXPECT_EQ(builtin_scenario("fig4").num_points(), 3u * 14u * 14u * 2u);
   EXPECT_EQ(builtin_scenario("fig5").num_points(), 3u * 14u * 2u);
   EXPECT_EQ(builtin_scenario("fig6").num_points(), 15u * 2u * 2u);
+  EXPECT_EQ(builtin_scenario("optimality-family").num_points(), 9u * 5u);
+  EXPECT_EQ(builtin_scenario("analysis-accuracy").num_points(), 7u * 2u * 3u);
+  EXPECT_EQ(builtin_scenario("tail-latency").num_points(), 3u * 2u);
+  EXPECT_EQ(builtin_scenario("ablation-truncation").num_points(),
+            2u * 6u * 2u);
+  EXPECT_EQ(builtin_scenario("ablation-coxian").num_points(),
+            6u * 3u * 2u * 2u);
+  EXPECT_EQ(builtin_scenario("dominance-thm3").num_points(), 5u * 5u);
   EXPECT_THROW(builtin_scenario("no-such-scenario"), Error);
+}
+
+TEST(Scenario, CaseAndAxisExpansionOrder) {
+  Scenario s;
+  s.name = "cases-order";
+  s.cases = {{2, 1.0, 1.0, 0.5, 0}, {4, 2.0, 1.0, 0.7, 0}};
+  s.trunc_values = {10, 20};
+  s.fit_orders = {1, 3};
+  s.policies = {"IF", "EF"};
+  s.solvers = {SolverKind::kQbdAnalysis, SolverKind::kExactCtmc};
+  EXPECT_EQ(s.num_points(), 2u * 2u * 2u * 2u * 2u);
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), s.num_points());
+  // Row-major: solver fastest, then policy, fit, truncation, case.
+  EXPECT_EQ(points[0].solver, SolverKind::kQbdAnalysis);
+  EXPECT_EQ(points[1].solver, SolverKind::kExactCtmc);
+  EXPECT_EQ(points[2].policy, "EF");
+  EXPECT_EQ(points[0].options.fit_order, BusyFitOrder::kOneMoment);
+  EXPECT_EQ(points[4].options.fit_order, BusyFitOrder::kThreeMoment);
+  EXPECT_EQ(points[0].options.imax, 10);
+  EXPECT_EQ(points[8].options.imax, 20);
+  EXPECT_EQ(points[0].params.k, 2);
+  EXPECT_EQ(points[16].params.k, 4);
+  EXPECT_NEAR(points[16].params.rho(), 0.7, 1e-12);
 }
 
 TEST(Scenario, CacheKeyDistinguishesAndMatches) {
   const auto points = small_scenario().expand();
-  RunPoint a = points[0];
+  RunPoint a = points[0];  // qbd point
   RunPoint b = points[0];
   EXPECT_EQ(a.cache_key(), b.cache_key());
   EXPECT_EQ(a.seed(), b.seed());
   b.policy = "EF";
   EXPECT_NE(a.cache_key(), b.cache_key());
   b = a;
+  b.solver = SolverKind::kSimulation;
   b.options.base_seed = 2;
   EXPECT_NE(a.cache_key(), b.cache_key());
   EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(Scenario, CacheKeyIsBackendCanonical) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.5);
+  // A solver ignores axes it never reads: the QBD key is invariant in the
+  // truncation and seed, the exact key in the fit order and seed, the sim
+  // key in the fit order — so ablation axes collapse to one solve each.
+  RunPoint qbd{p, "IF", SolverKind::kQbdAnalysis, {}};
+  RunPoint qbd2 = qbd;
+  qbd2.options.imax = qbd2.options.jmax = 40;
+  qbd2.options.base_seed = 7;
+  EXPECT_EQ(qbd.cache_key(), qbd2.cache_key());
+  qbd2.options.fit_order = BusyFitOrder::kOneMoment;
+  EXPECT_NE(qbd.cache_key(), qbd2.cache_key());
+
+  RunPoint exact{p, "IF", SolverKind::kExactCtmc, {}};
+  RunPoint exact2 = exact;
+  exact2.options.fit_order = BusyFitOrder::kOneMoment;
+  exact2.options.base_seed = 7;
+  exact2.options.sim_jobs = 99;
+  EXPECT_EQ(exact.cache_key(), exact2.cache_key());
+  exact2.options.imax = 40;
+  EXPECT_NE(exact.cache_key(), exact2.cache_key());
+
+  RunPoint sim{p, "IF", SolverKind::kSimulation, {}};
+  RunPoint sim2 = sim;
+  sim2.options.fit_order = BusyFitOrder::kOneMoment;
+  EXPECT_EQ(sim.cache_key(), sim2.cache_key());
+  sim2.options.sim_tails = true;
+  EXPECT_NE(sim.cache_key(), sim2.cache_key());
+  sim2 = sim;
+  sim2.options.sim_raw_seed = true;
+  EXPECT_NE(sim.cache_key(), sim2.cache_key());
 }
 
 TEST(Scenario, MakePolicyParsesSpecs) {
@@ -103,7 +171,8 @@ TEST(Scenario, MakePolicyParsesSpecs) {
 TEST(Scenario, SolverNamesRoundTrip) {
   for (const SolverKind kind :
        {SolverKind::kQbdAnalysis, SolverKind::kExactCtmc,
-        SolverKind::kSimulation, SolverKind::kMmkBaseline}) {
+        SolverKind::kSimulation, SolverKind::kMmkBaseline,
+        SolverKind::kTraceDominance}) {
     EXPECT_EQ(parse_solver(solver_name(kind)), kind);
   }
   EXPECT_THROW(parse_solver("fancy"), Error);
@@ -239,6 +308,165 @@ TEST(SweepRunner, PropagatesSolverErrors) {
   EXPECT_THROW(runner.run(points), Error);
   // The valid point still landed in the cache.
   EXPECT_EQ(runner.cache().size(), 1u);
+}
+
+TEST(Dispatch, TraceDominanceReportsNoViolationsForFamily) {
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.6);
+  RunPoint point{p, "FairShare", SolverKind::kTraceDominance, {}};
+  point.options.trace_horizon = 200.0;  // short trace keeps the test fast
+  const RunResult result = dispatch_run(point);
+  // Theorem 3: IF never exceeds a class-P policy's work path (float noise
+  // only), IF keeps less work on average, and checkpoints were compared.
+  EXPECT_LT(result.dom_max_violation, 1e-6);
+  EXPECT_LT(result.dom_max_violation_i, 1e-6);
+  EXPECT_GE(result.dom_avg_gap, 0.0);
+  EXPECT_GT(result.dom_checkpoints, 0);
+  // Same trace, IF vs IF: identically zero.
+  RunPoint self = point;
+  self.policy = "IF";
+  const RunResult same = dispatch_run(self);
+  EXPECT_EQ(same.dom_max_violation, 0.0);
+  EXPECT_EQ(same.dom_avg_gap, 0.0);
+}
+
+TEST(Dispatch, SimTailsFillPercentiles) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  RunPoint point{p, "IF", SolverKind::kSimulation, {}};
+  point.options.sim_jobs = 4000;
+  point.options.sim_warmup = 400;
+  point.options.sim_tails = true;
+  // Pin the seed: the derived per-point seed hashes the cache key, which
+  // includes the tails flag, so the tails-on/off comparison below needs a
+  // shared raw seed to run the same sample path.
+  point.options.sim_raw_seed = true;
+  point.options.base_seed = 7;
+  const RunResult result = dispatch_run(point);
+  EXPECT_GT(result.p50_i, 0.0);
+  EXPECT_LE(result.p50_i, result.p95_i);
+  EXPECT_LE(result.p95_i, result.p99_i);
+  EXPECT_LE(result.p50_e, result.p99_e);
+  // Tails off: percentiles stay zero but the means are unchanged (the
+  // histograms are passive observers of the same sample path).
+  RunPoint plain = point;
+  plain.options.sim_tails = false;
+  const RunResult bare = dispatch_run(plain);
+  EXPECT_EQ(bare.p99_i, 0.0);
+  EXPECT_EQ(bare.mean_response_time, result.mean_response_time);
+}
+
+TEST(Dispatch, RawSeedUsesBaseSeedDirectly) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  RunPoint a{p, "IF", SolverKind::kSimulation, {}};
+  a.options.sim_jobs = 2000;
+  a.options.sim_warmup = 200;
+  a.options.sim_raw_seed = true;
+  a.options.base_seed = 42;
+  // Same raw seed, different policies: streams coincide by construction,
+  // so results differ only through the policy. Flipping the seed flips
+  // the sample path.
+  RunPoint b = a;
+  b.options.base_seed = 43;
+  EXPECT_NE(dispatch_run(a).mean_response_time,
+            dispatch_run(b).mean_response_time);
+}
+
+TEST(ExactBatch, MatchesUnbatchedSolveBitwise) {
+  const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.8);
+  ExactCtmcOptions options;
+  options.imax = options.jmax = 30;
+  const ExactCtmcBatch batch(p, options);
+  for (const auto& policy :
+       {make_inelastic_first(), make_elastic_first(), make_fair_share(),
+        make_inelastic_cap(2)}) {
+    const ExactCtmcResult batched = batch.solve(*policy);
+    const ExactCtmcResult direct = solve_exact_ctmc(p, *policy, options);
+    EXPECT_EQ(batched.mean_response_time, direct.mean_response_time);
+    EXPECT_EQ(batched.mean_jobs_i, direct.mean_jobs_i);
+    EXPECT_EQ(batched.boundary_mass, direct.boundary_mass);
+    EXPECT_EQ(batched.solve_info.iterations, direct.solve_info.iterations);
+    EXPECT_EQ(batched.solve_info.residual, direct.solve_info.residual);
+  }
+}
+
+TEST(SweepRunner, ExactGroupBatchingMatchesPerPointDispatch) {
+  // Five policies at one params: the runner solves them as one topology
+  // group; results must equal per-point dispatch bitwise.
+  Scenario s;
+  s.name = "batch";
+  s.cases = {{4, 2.0, 1.0, 0.8, 0}, {4, 0.5, 1.0, 0.6, 0}};
+  s.policies = {"IF", "EF", "FairShare", "Cap2", "IF+idle1"};
+  s.solvers = {SolverKind::kExactCtmc};
+  s.options.imax = s.options.jmax = 25;
+  const auto points = s.expand();
+  SweepRunner runner(2);
+  SweepStats stats;
+  const auto results = runner.run(points, &stats);
+  EXPECT_EQ(stats.solved_points, points.size());
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    RunResult direct = dispatch_run(points[n]);
+    direct.from_cache = results[n].from_cache;
+    direct.solve_seconds = results[n].solve_seconds;
+    EXPECT_TRUE(numerically_equal(results[n], direct))
+        << points[n].cache_key();
+  }
+}
+
+TEST(SweepRunner, DiskCachePersistsAcrossRunners) {
+  const std::string dir = testing::TempDir() + "esched_disk_cache_test";
+  Scenario s = small_scenario();
+  s.solvers = {SolverKind::kQbdAnalysis};
+  const auto points = s.expand();
+
+  SweepRunner first(2);
+  first.set_cache_dir(dir);
+  SweepStats cold;
+  const auto solved = first.run(points, &cold);
+  EXPECT_EQ(cold.solved_points, points.size());
+  EXPECT_EQ(cold.disk_hits, 0u);
+
+  // A fresh runner (fresh process, conceptually) hits only the disk.
+  SweepRunner second(2);
+  second.set_cache_dir(dir);
+  SweepStats warm;
+  const auto loaded = second.run(points, &warm);
+  EXPECT_EQ(warm.solved_points, 0u);
+  EXPECT_EQ(warm.disk_hits, points.size());
+  EXPECT_EQ(warm.cache_hits, points.size());
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    EXPECT_TRUE(loaded[n].from_cache);
+    EXPECT_TRUE(numerically_equal(solved[n], loaded[n]))
+        << points[n].cache_key();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCache, RoundTripsResultsExactlyAndRejectsCorruption) {
+  RunResult result;
+  result.mean_response_time = 1.0 / 3.0;
+  result.mean_jobs_i = 0.1234567890123456789;
+  result.ci_halfwidth = 1e-300;
+  result.p99_e = 42.5;
+  result.num_states = 1681;
+  result.dom_checkpoints = 77;
+  result.solver_iterations = 12;
+  result.solve_residual = 3.0e-13;
+  const std::string text = serialize_run_result(result);
+  const auto parsed = deserialize_run_result(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(numerically_equal(result, *parsed));
+  EXPECT_FALSE(deserialize_run_result("garbage").has_value());
+  EXPECT_FALSE(deserialize_run_result(text.substr(0, 40)).has_value());
+
+  const std::string dir = testing::TempDir() + "esched_disk_cache_unit";
+  const DiskResultCache cache(dir);
+  EXPECT_FALSE(cache.load("missing").has_value());
+  cache.store("k=1;policy=IF", result);
+  const auto loaded = cache.load("k=1;policy=IF");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(numerically_equal(result, *loaded));
+  // A different key mapping to a present file must verify the stored key.
+  EXPECT_FALSE(cache.load("k=1;policy=EF").has_value());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Report, CsvAndJsonRoundTrip) {

@@ -1,14 +1,22 @@
 // `esched` — the scenario-sweep CLI.
 //
-// Runs named built-in scenarios (the paper's figures and sweeps) through
-// the parallel engine and writes uniform CSV/JSON reports:
+// Runs scenarios — built-in names or user-authored JSON spec files —
+// through the parallel engine, renders a named report view, and writes
+// uniform CSV/JSON reports:
 //
-//   esched list
-//   esched fig6 --threads 4
-//   esched fig4 fig5 --threads 8 --json out.json
+//   esched list                          # scenarios + report views
+//   esched show fig5                     # print a built-in as spec JSON
+//   esched run fig6 --threads 4
+//   esched run my_sweep.json --view table
+//   esched run fig4 fig5 --json out.json # shared memo cache across both
+//   esched run fig5 --shard 0/2 --out s0.csv   # order-independent shards
+//   esched run fig5 --cache-dir .esched-cache  # skip already-solved points
+//
+// (`esched <scenario>` without the `run` keyword still works.)
 //
 // Scenarios named in one invocation share the memoization cache, so
-// overlapping grids (e.g. fig5 is a slice of fig4) solve once.
+// overlapping grids (e.g. fig5 is a slice of fig4) solve once; --cache-dir
+// extends that across invocations and processes.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -18,31 +26,48 @@
 #include "common/error.hpp"
 #include "engine/report.hpp"
 #include "engine/scenario.hpp"
+#include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
 
 namespace {
 
 void print_usage() {
   std::printf(
-      "usage: esched <scenario>... [options]\n"
+      "usage: esched [run] <scenario-or-spec.json>... [options]\n"
       "       esched list\n"
+      "       esched show <scenario>\n"
+      "\n"
+      "A scenario argument is a built-in name (see `esched list`) or a\n"
+      "path to a JSON spec file (anything containing '/' or ending in\n"
+      "'.json'); see README for the spec schema.\n"
       "\n"
       "options:\n"
-      "  --threads N    worker threads (default: all hardware threads)\n"
-      "  --seed S       base RNG seed for simulation points (default: 1)\n"
-      "  --sim-jobs N   measured completions per simulation point\n"
-      "  --out PATH     CSV output path (default: <scenario>.csv)\n"
-      "  --json PATH    also write a JSON report\n"
-      "  --rows N       summary rows printed per scenario (default: 20)\n");
+      "  --threads N     worker threads (default: all hardware threads)\n"
+      "  --seed S        base RNG seed for simulation points (default: 1)\n"
+      "  --sim-jobs N    measured completions per simulation point\n"
+      "  --view NAME     report view (default: the scenario's own view)\n"
+      "  --shard I/N     run only shard I of N (contiguous row-order\n"
+      "                  split; concatenating the shard CSVs minus their\n"
+      "                  headers reproduces the unsharded CSV)\n"
+      "  --cache-dir D   persistent result cache: skip points already\n"
+      "                  solved by earlier invocations, store new ones\n"
+      "  --out PATH      CSV output path (default: <scenario>.csv)\n"
+      "  --json PATH     also write a JSON report\n"
+      "  --rows N        summary rows printed per scenario (default: 20)\n");
 }
 
 void print_scenarios() {
   std::printf("built-in scenarios:\n");
   for (const auto& name : esched::builtin_scenario_names()) {
     const esched::Scenario s = esched::builtin_scenario(name);
-    std::printf("  %-18s %4zu points  %s\n", name.c_str(), s.num_points(),
+    std::printf("  %-20s %4zu points  %s\n", name.c_str(), s.num_points(),
                 s.description.c_str());
   }
+  std::printf("\nreport views (--view):");
+  for (const auto& view : esched::report_view_names()) {
+    std::printf(" %s", view.c_str());
+  }
+  std::printf("\n");
 }
 
 long parse_long(const char* flag, const std::string& value) {
@@ -54,16 +79,41 @@ long parse_long(const char* flag, const std::string& value) {
   return parsed;
 }
 
+/// "I/N" with 0 <= I < N.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& value) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos) {
+    throw esched::Error("--shard expects I/N (e.g. --shard 0/4)");
+  }
+  const long index = parse_long("--shard", value.substr(0, slash));
+  const long count = parse_long("--shard", value.substr(slash + 1));
+  if (count < 1 || index >= count) {
+    throw esched::Error("--shard I/N needs N >= 1 and I < N");
+  }
+  return {static_cast<std::size_t>(index), static_cast<std::size_t>(count)};
+}
+
+bool looks_like_spec_path(const std::string& arg) {
+  if (arg.find('/') != std::string::npos) return true;
+  return arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> scenarios;
+  std::vector<std::string> scenario_args;
   int threads = 0;
   std::uint64_t seed = 1;
+  bool seed_set = false;
   std::uint64_t sim_jobs = 0;
+  std::string view_override;
+  std::string cache_dir;
   std::string out_path;
   std::string json_path;
   std::size_t summary_rows = 20;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  bool show_spec = false;
 
   try {
     for (int n = 1; n < argc; ++n) {
@@ -77,18 +127,30 @@ int main(int argc, char** argv) {
       if (arg == "--help" || arg == "-h") {
         print_usage();
         return 0;
-      } else if (arg == "list") {
+      } else if (arg == "list" && scenario_args.empty() && !show_spec) {
         print_scenarios();
         return 0;
+      } else if (arg == "run" && scenario_args.empty() && !show_spec) {
+        // explicit subcommand; scenario args follow
+      } else if (arg == "show" && scenario_args.empty()) {
+        show_spec = true;
       } else if (arg == "--threads") {
         threads =
             static_cast<int>(parse_long("--threads", next_value("--threads")));
       } else if (arg == "--seed") {
         seed = static_cast<std::uint64_t>(
             parse_long("--seed", next_value("--seed")));
+        seed_set = true;
       } else if (arg == "--sim-jobs") {
         sim_jobs = static_cast<std::uint64_t>(
             parse_long("--sim-jobs", next_value("--sim-jobs")));
+      } else if (arg == "--view") {
+        view_override = next_value("--view");
+      } else if (arg == "--shard") {
+        std::tie(shard_index, shard_count) =
+            parse_shard(next_value("--shard"));
+      } else if (arg == "--cache-dir") {
+        cache_dir = next_value("--cache-dir");
       } else if (arg == "--out") {
         out_path = next_value("--out");
       } else if (arg == "--json") {
@@ -99,10 +161,22 @@ int main(int argc, char** argv) {
       } else if (!arg.empty() && arg[0] == '-') {
         throw esched::Error("unknown option '" + arg + "'");
       } else {
-        scenarios.push_back(arg);
+        scenario_args.push_back(arg);
       }
     }
-    if (scenarios.empty()) {
+    if (show_spec) {
+      if (scenario_args.empty()) {
+        throw esched::Error("show expects a scenario name");
+      }
+      for (const auto& name : scenario_args) {
+        const esched::Scenario scenario =
+            looks_like_spec_path(name) ? esched::load_scenario_file(name)
+                                       : esched::builtin_scenario(name);
+        std::printf("%s\n", esched::scenario_to_json(scenario).dump().c_str());
+      }
+      return 0;
+    }
+    if (scenario_args.empty()) {
       print_usage();
       std::printf("\n");
       print_scenarios();
@@ -110,6 +184,7 @@ int main(int argc, char** argv) {
     }
 
     esched::SweepRunner runner(threads);
+    if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
     // --out/--json collect every scenario into ONE combined report (the
     // schema is uniform across solvers); without --out each scenario
     // writes its own <name>.csv.
@@ -117,18 +192,43 @@ int main(int argc, char** argv) {
     std::vector<esched::RunResult> all_results;
     esched::SweepStats combined;
     combined.threads_used = runner.num_threads();
-    for (const auto& name : scenarios) {
-      esched::Scenario scenario = esched::builtin_scenario(name);
-      scenario.options.base_seed = seed;
+    for (const auto& arg : scenario_args) {
+      esched::Scenario scenario = looks_like_spec_path(arg)
+                                      ? esched::load_scenario_file(arg)
+                                      : esched::builtin_scenario(arg);
+      if (seed_set) scenario.options.base_seed = seed;
       if (sim_jobs > 0) scenario.options.sim_jobs = sim_jobs;
 
       std::printf("=== scenario %s: %s ===\n", scenario.name.c_str(),
                   scenario.description.c_str());
-      const auto points = scenario.expand();
+      auto points = scenario.expand();
+      if (shard_count > 1) {
+        // Contiguous row-order split: concatenating shard CSVs in shard
+        // order reproduces the unsharded report row for row.
+        const std::size_t total = points.size();
+        const std::size_t begin = shard_index * total / shard_count;
+        const std::size_t end = (shard_index + 1) * total / shard_count;
+        points.assign(points.begin() + static_cast<std::ptrdiff_t>(begin),
+                      points.begin() + static_cast<std::ptrdiff_t>(end));
+        std::printf("shard %zu/%zu: points %zu..%zu of %zu\n", shard_index,
+                    shard_count, begin, end, total);
+      }
       esched::SweepStats stats;
       const auto results = runner.run(points, &stats);
-      esched::print_sweep_summary(std::cout, points, results, stats,
-                                  summary_rows);
+
+      // Figure views need the full grid; sharded runs fall back to the
+      // generic table.
+      std::string view = view_override.empty() ? scenario.view : view_override;
+      if (shard_count > 1) view = "table";
+      esched::ViewOptions view_options;
+      view_options.max_rows = summary_rows;
+      esched::print_view(view, std::cout, scenario, points, results, stats,
+                         view_options);
+      if (view != "table") {
+        // The table view already ends with this trailer.
+        std::printf("\n");
+        esched::print_stats_line(std::cout, stats);
+      }
 
       if (out_path.empty()) {
         const std::string csv_path = scenario.name + ".csv";
@@ -141,6 +241,7 @@ int main(int argc, char** argv) {
         combined.total_points += stats.total_points;
         combined.solved_points += stats.solved_points;
         combined.cache_hits += stats.cache_hits;
+        combined.disk_hits += stats.disk_hits;
         combined.wall_seconds += stats.wall_seconds;
       }
       std::printf("\n");
@@ -148,15 +249,15 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) {
       esched::write_csv_report(out_path, all_points, all_results);
       std::printf("wrote %s (%zu rows, %zu scenario%s)\n", out_path.c_str(),
-                  all_points.size(), scenarios.size(),
-                  scenarios.size() == 1 ? "" : "s");
+                  all_points.size(), scenario_args.size(),
+                  scenario_args.size() == 1 ? "" : "s");
     }
     if (!json_path.empty()) {
       esched::write_json_report(json_path, all_points, all_results,
                                 &combined);
       std::printf("wrote %s (%zu rows, %zu scenario%s)\n", json_path.c_str(),
-                  all_points.size(), scenarios.size(),
-                  scenarios.size() == 1 ? "" : "s");
+                  all_points.size(), scenario_args.size(),
+                  scenario_args.size() == 1 ? "" : "s");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esched: %s\n", e.what());
