@@ -1,9 +1,12 @@
 #include "engine/disk_cache.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 
@@ -33,32 +36,76 @@ std::string format_field(double value) {
   return buf;
 }
 
+/// One persisted RunResult field: its on-disk name and which member it
+/// round-trips through. This table is the single source of truth for the
+/// serializer, the deserializer, and the expected-field-count check.
+struct FieldSpec {
+  const char* name;
+  double RunResult::* as_double = nullptr;
+  long RunResult::* as_long = nullptr;
+  int RunResult::* as_int = nullptr;
+};
+
+constexpr FieldSpec fd(const char* name, double RunResult::* member) {
+  return {name, member, nullptr, nullptr};
+}
+constexpr FieldSpec fl(const char* name, long RunResult::* member) {
+  return {name, nullptr, member, nullptr};
+}
+constexpr FieldSpec fi(const char* name, int RunResult::* member) {
+  return {name, nullptr, nullptr, member};
+}
+
+// Order is the on-disk order; names are part of the cache format, so
+// renaming one silently invalidates existing entries (they read as
+// misses, never as wrong results).
+const FieldSpec kRunResultFields[] = {
+    fd("et", &RunResult::mean_response_time),
+    fd("et_i", &RunResult::mean_response_time_i),
+    fd("et_e", &RunResult::mean_response_time_e),
+    fd("en_i", &RunResult::mean_jobs_i),
+    fd("en_e", &RunResult::mean_jobs_e),
+    fd("ci", &RunResult::ci_halfwidth),
+    fd("p50_i", &RunResult::p50_i),
+    fd("p95_i", &RunResult::p95_i),
+    fd("p99_i", &RunResult::p99_i),
+    fd("p50_e", &RunResult::p50_e),
+    fd("p95_e", &RunResult::p95_e),
+    fd("p99_e", &RunResult::p99_e),
+    fd("boundary", &RunResult::boundary_mass),
+    fl("states", &RunResult::num_states),
+    fd("dom_viol", &RunResult::dom_max_violation),
+    fd("dom_viol_i", &RunResult::dom_max_violation_i),
+    fd("dom_gap", &RunResult::dom_avg_gap),
+    fl("dom_checkpoints", &RunResult::dom_checkpoints),
+    fi("iterations", &RunResult::solver_iterations),
+    fd("residual", &RunResult::solve_residual),
+    fd("seconds", &RunResult::solve_seconds),
+};
+
+const FieldSpec* find_field(const std::string& name) {
+  for (const FieldSpec& field : kRunResultFields) {
+    if (name == field.name) return &field;
+  }
+  return nullptr;
+}
+
 }  // namespace
+
+std::size_t run_result_field_count() {
+  return std::size(kRunResultFields);
+}
 
 std::string serialize_run_result(const RunResult& r) {
   std::ostringstream out;
   out << kFormatTag << '\n';
-  out << "et " << format_field(r.mean_response_time) << '\n';
-  out << "et_i " << format_field(r.mean_response_time_i) << '\n';
-  out << "et_e " << format_field(r.mean_response_time_e) << '\n';
-  out << "en_i " << format_field(r.mean_jobs_i) << '\n';
-  out << "en_e " << format_field(r.mean_jobs_e) << '\n';
-  out << "ci " << format_field(r.ci_halfwidth) << '\n';
-  out << "p50_i " << format_field(r.p50_i) << '\n';
-  out << "p95_i " << format_field(r.p95_i) << '\n';
-  out << "p99_i " << format_field(r.p99_i) << '\n';
-  out << "p50_e " << format_field(r.p50_e) << '\n';
-  out << "p95_e " << format_field(r.p95_e) << '\n';
-  out << "p99_e " << format_field(r.p99_e) << '\n';
-  out << "boundary " << format_field(r.boundary_mass) << '\n';
-  out << "states " << r.num_states << '\n';
-  out << "dom_viol " << format_field(r.dom_max_violation) << '\n';
-  out << "dom_viol_i " << format_field(r.dom_max_violation_i) << '\n';
-  out << "dom_gap " << format_field(r.dom_avg_gap) << '\n';
-  out << "dom_checkpoints " << r.dom_checkpoints << '\n';
-  out << "iterations " << r.solver_iterations << '\n';
-  out << "residual " << format_field(r.solve_residual) << '\n';
-  out << "seconds " << format_field(r.solve_seconds) << '\n';
+  for (const FieldSpec& field : kRunResultFields) {
+    out << field.name << ' ';
+    if (field.as_double != nullptr) out << format_field(r.*field.as_double);
+    else if (field.as_long != nullptr) out << r.*field.as_long;
+    else out << r.*field.as_int;
+    out << '\n';
+  }
   return out.str();
 }
 
@@ -74,41 +121,20 @@ std::optional<RunResult> deserialize_run_result(const std::string& text) {
   std::string name;
   while (in >> name) {
     if (!seen.insert(name).second) return std::nullopt;
-    double value = 0.0;
-    long integral = 0;
-    if (name == "states") {
-      if (!(in >> integral)) return std::nullopt;
-      r.num_states = integral;
-    } else if (name == "dom_checkpoints") {
-      if (!(in >> integral)) return std::nullopt;
-      r.dom_checkpoints = integral;
-    } else if (name == "iterations") {
-      if (!(in >> integral)) return std::nullopt;
-      r.solver_iterations = static_cast<int>(integral);
-    } else {
+    const FieldSpec* field = find_field(name);
+    if (field == nullptr) return std::nullopt;  // written by a newer build
+    if (field->as_double != nullptr) {
+      double value = 0.0;
       if (!(in >> value)) return std::nullopt;
-      if (name == "et") r.mean_response_time = value;
-      else if (name == "et_i") r.mean_response_time_i = value;
-      else if (name == "et_e") r.mean_response_time_e = value;
-      else if (name == "en_i") r.mean_jobs_i = value;
-      else if (name == "en_e") r.mean_jobs_e = value;
-      else if (name == "ci") r.ci_halfwidth = value;
-      else if (name == "p50_i") r.p50_i = value;
-      else if (name == "p95_i") r.p95_i = value;
-      else if (name == "p99_i") r.p99_i = value;
-      else if (name == "p50_e") r.p50_e = value;
-      else if (name == "p95_e") r.p95_e = value;
-      else if (name == "p99_e") r.p99_e = value;
-      else if (name == "boundary") r.boundary_mass = value;
-      else if (name == "dom_viol") r.dom_max_violation = value;
-      else if (name == "dom_viol_i") r.dom_max_violation_i = value;
-      else if (name == "dom_gap") r.dom_avg_gap = value;
-      else if (name == "residual") r.solve_residual = value;
-      else if (name == "seconds") r.solve_seconds = value;
-      else return std::nullopt;  // unknown field: written by a newer build
+      r.*field->as_double = value;
+    } else {
+      long value = 0;
+      if (!(in >> value)) return std::nullopt;
+      if (field->as_long != nullptr) r.*field->as_long = value;
+      else r.*field->as_int = static_cast<int>(value);
     }
   }
-  if (seen.size() != 21) return std::nullopt;
+  if (seen.size() != run_result_field_count()) return std::nullopt;
   return r;
 }
 
@@ -164,6 +190,85 @@ void DiskResultCache::store(const std::string& key,
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) std::remove(tmp.c_str());
+}
+
+std::vector<CacheEntryInfo> DiskResultCache::list_entries(
+    bool with_keys) const {
+  namespace fs = std::filesystem;
+  const auto now = fs::file_time_type::clock::now();
+  std::vector<CacheEntryInfo> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() != ".result" || !it->is_regular_file(ec)) continue;
+    CacheEntryInfo info;
+    info.path = path.string();
+    info.bytes = fs::file_size(path, ec);
+    if (ec) continue;
+    const auto mtime = fs::last_write_time(path, ec);
+    if (ec) continue;
+    info.age_seconds =
+        std::chrono::duration<double>(now - mtime).count();
+    if (with_keys) {
+      std::ifstream in(info.path);
+      std::string first_line;
+      if (std::getline(in, first_line) && first_line.rfind("key ", 0) == 0) {
+        info.key = first_line.substr(4);
+      }
+    }
+    entries.push_back(std::move(info));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
+              if (a.age_seconds != b.age_seconds) {
+                return a.age_seconds > b.age_seconds;  // oldest first
+              }
+              return a.path < b.path;
+            });
+  return entries;
+}
+
+CacheGcResult DiskResultCache::gc(std::optional<double> max_age_seconds,
+                                  std::optional<std::uintmax_t> max_bytes) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  // Orphaned temp files (a writer died between open and rename) are
+  // garbage regardless of the age/size policy — but only once they are
+  // demonstrably stale: a live shard process may hold a young one open
+  // right now, and unlinking it would silently drop that store.
+  constexpr double kTmpStaleSeconds = 3600.0;
+  const auto now = fs::file_time_type::clock::now();
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.find(".result.tmp.") == std::string::npos) continue;
+    std::error_code tmp_ec;
+    const auto mtime = fs::last_write_time(it->path(), tmp_ec);
+    if (tmp_ec) continue;
+    const double age = std::chrono::duration<double>(now - mtime).count();
+    if (age > kTmpStaleSeconds) fs::remove(it->path(), ec);
+  }
+
+  // Oldest first; keys are not needed for the age/size policy.
+  const std::vector<CacheEntryInfo> entries = list_entries(false);
+  CacheGcResult result;
+  result.scanned = entries.size();
+  std::uintmax_t total = 0;
+  for (const CacheEntryInfo& entry : entries) total += entry.bytes;
+  for (const CacheEntryInfo& entry : entries) {
+    const bool too_old =
+        max_age_seconds.has_value() && entry.age_seconds > *max_age_seconds;
+    const bool over_budget = max_bytes.has_value() && total > *max_bytes;
+    if (!too_old && !over_budget) continue;
+    std::error_code remove_ec;
+    if (!fs::remove(entry.path, remove_ec) || remove_ec) continue;
+    ++result.removed;
+    result.bytes_removed += entry.bytes;
+    total -= entry.bytes;
+  }
+  result.bytes_kept = total;
+  return result;
 }
 
 }  // namespace esched

@@ -4,11 +4,14 @@
 // the FNV-1a hash of the key and carrying the full key inside (a hash
 // collision therefore reads as a miss, never as a wrong result). Writes go
 // through a temp file + atomic rename, so concurrent shard processes can
-// share one cache directory without locking.
+// share one cache directory without locking. `esched cache ls/gc` sit on
+// the list_entries()/gc() manifest API.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "engine/solver_dispatch.hpp"
 
@@ -17,10 +20,32 @@ namespace esched {
 /// Exact text round-trip of a result (doubles via %.17g); load() of a
 /// store()d entry reproduces the RunResult bitwise. from_cache is not
 /// persisted — provenance belongs to the run that observes the hit.
+/// Serializer, deserializer, and the completeness check all iterate one
+/// shared field table, so adding a RunResult field means adding exactly
+/// one table entry and the three can never desync.
 std::string serialize_run_result(const RunResult& result);
 /// Inverse of serialize_run_result; std::nullopt on malformed/versioned-out
 /// text (a corrupt entry is a miss, not an error).
 std::optional<RunResult> deserialize_run_result(const std::string& text);
+/// Number of persisted RunResult fields (the shared table's size); a
+/// deserialized entry must carry exactly this many distinct fields.
+std::size_t run_result_field_count();
+
+/// One cache entry as seen by `esched cache ls/gc`.
+struct CacheEntryInfo {
+  std::string path;         ///< entry file (<hash>.result)
+  std::string key;          ///< full cache key stored inside the file
+  std::uintmax_t bytes = 0; ///< file size
+  double age_seconds = 0.0; ///< now - mtime at scan time
+};
+
+/// Outcome of a gc() pass.
+struct CacheGcResult {
+  std::size_t scanned = 0;         ///< entries found before eviction
+  std::size_t removed = 0;         ///< entries deleted
+  std::uintmax_t bytes_removed = 0;
+  std::uintmax_t bytes_kept = 0;
+};
 
 /// Directory-backed cache. Construction creates the directory (throws when
 /// that fails); lookups and stores never throw on I/O problems — a cache
@@ -32,6 +57,20 @@ class DiskResultCache {
 
   std::optional<RunResult> load(const std::string& key) const;
   void store(const std::string& key, const RunResult& result) const;
+
+  /// Manifest of every entry in the directory, oldest first (ties broken
+  /// by path for determinism). Unreadable files are skipped. Reading a
+  /// key means opening the entry file, so callers that only need
+  /// age/size (gc) pass with_keys = false.
+  std::vector<CacheEntryInfo> list_entries(bool with_keys = true) const;
+
+  /// Evicts entries oldest-first: first everything older than
+  /// `max_age_seconds` (when set), then — while the directory still
+  /// exceeds `max_bytes` (when set) — the oldest survivors. Temp files
+  /// from crashed writers are removed too once they are stale (> 1 h
+  /// old); younger ones may belong to a live concurrent store.
+  CacheGcResult gc(std::optional<double> max_age_seconds,
+                   std::optional<std::uintmax_t> max_bytes) const;
 
   const std::string& directory() const { return directory_; }
 

@@ -1,9 +1,12 @@
 #include "engine/report.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
+#include <filesystem>
 #include <ostream>
+#include <sstream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -17,6 +20,10 @@ namespace esched {
 namespace {
 
 const std::vector<std::string>& report_header() {
+  // Every column is a deterministic function of the point and its solve —
+  // wall time and cache provenance stay out on purpose, so shard merges
+  // and streaming resumes compare byte-for-byte (they remain available in
+  // RunResult and the JSON stats block).
   static const std::vector<std::string> header = {
       "k",           "rho",           "mu_i",          "mu_e",
       "elastic_cap", "lambda_i",      "lambda_e",      "policy",
@@ -26,8 +33,7 @@ const std::vector<std::string>& report_header() {
       "p50_i",       "p95_i",         "p99_i",         "p50_e",
       "p95_e",       "p99_e",         "dom_viol_w",    "dom_viol_wi",
       "dom_gap",     "dom_checkpoints",
-      // Volatile columns last, so sharded CSVs compare after stripping.
-      "iterations",  "residual",      "solve_seconds", "from_cache"};
+      "iterations",  "residual"};
   return header;
 }
 
@@ -65,22 +71,247 @@ std::vector<std::string> report_row(const RunPoint& point,
           format_double(result.dom_avg_gap, 12),
           std::to_string(result.dom_checkpoints),
           std::to_string(result.solver_iterations),
-          format_double(result.solve_residual),
-          format_double(result.solve_seconds),
-          result.from_cache ? "1" : "0"};
+          format_double(result.solve_residual)};
+}
+
+/// True for the "# summary ..." trailer lines a report CSV ends with
+/// (they parse as one comment cell, never as a data row).
+bool is_summary_record(const std::vector<std::string>& cells) {
+  return cells.size() == 1 && cells.front().rfind("# ", 0) == 0;
 }
 
 }  // namespace
+
+CsvSummary::CsvSummary(const std::vector<std::string>& header) {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == "et") {
+      et_column_ = static_cast<std::ptrdiff_t>(c);
+      break;
+    }
+  }
+}
+
+void CsvSummary::add_row(const std::vector<std::string>& cells) {
+  if (et_column_ >= 0) {
+    // Parse the formatted cell, not the double it came from: the merge
+    // path only has the text, and both paths must agree bitwise.
+    const double et =
+        std::strtod(cells[static_cast<std::size_t>(et_column_)].c_str(),
+                    nullptr);
+    if (rows_ == 0) {
+      et_sum_ = et_min_ = et_max_ = et;
+    } else {
+      et_sum_ += et;
+      et_min_ = std::min(et_min_, et);
+      et_max_ = std::max(et_max_, et);
+    }
+  }
+  ++rows_;
+}
+
+void CsvSummary::write(std::ostream& os) const {
+  os << "# summary rows=" << rows_ << '\n';
+  if (et_column_ >= 0 && rows_ > 0) {
+    os << "# summary et_mean="
+       << format_double(et_sum_ / static_cast<double>(rows_), 12)
+       << " et_min=" << format_double(et_min_, 12)
+       << " et_max=" << format_double(et_max_, 12) << '\n';
+  }
+}
 
 void write_csv_report(const std::string& path,
                       const std::vector<RunPoint>& points,
                       const std::vector<RunResult>& results) {
   ESCHED_CHECK(points.size() == results.size(),
                "points/results size mismatch");
-  CsvWriter csv(path, report_header());
+  std::ofstream out(path);
+  ESCHED_CHECK(out.good(), "failed to open CSV file: " + path);
+  out << csv_encode_row(report_header()) << '\n';
+  CsvSummary summary(report_header());
   for (std::size_t n = 0; n < points.size(); ++n) {
-    csv.add_row(report_row(points[n], results[n]));
+    const auto row = report_row(points[n], results[n]);
+    out << csv_encode_row(row) << '\n';
+    summary.add_row(row);
   }
+  summary.write(out);
+  ESCHED_CHECK(out.good(), "error writing '" + path + "'");
+}
+
+StreamingCsvReport::StreamingCsvReport(const std::string& path, bool resume)
+    : path_(path), summary_(report_header()) {
+  const std::size_t arity = report_header().size();
+  std::string existing;
+  if (resume) {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  if (!existing.empty()) {
+    // Keep the longest clean prefix: the matching header plus every
+    // complete, well-formed data row; stop at a torn line, a malformed
+    // row, or the old summary trailer, and truncate the rest away. A
+    // run killed before even the header's newline reached disk left no
+    // rows worth keeping — restart fresh rather than error.
+    std::size_t offset = 0;
+    std::vector<std::string> cells;
+    bool complete = false;
+    const bool has_header =
+        csv_parse_record(existing, &offset, &cells, &complete) && complete;
+    if (has_header) {
+      ESCHED_CHECK(cells == report_header(),
+                   "--stream resume: '" + path +
+                       "' exists with a different header; refusing to "
+                       "append (remove it or pick another --out)");
+      std::size_t keep = offset;
+      while (csv_parse_record(existing, &offset, &cells, &complete)) {
+        if (!complete || is_summary_record(cells) || cells.size() != arity) {
+          break;
+        }
+        summary_.add_row(cells);
+        resumed_hashes_.push_back(fnv1a64(csv_encode_row(cells)));
+        ++resumed_;
+        keep = offset;
+      }
+      // Truncation of the torn tail / old trailer is deferred to the
+      // first write (open_for_append): until the kept rows verify
+      // against this sweep, the file stays bitwise untouched.
+      truncate_at_ = keep;
+      next_ = resumed_;
+      return;
+    }
+  }
+  out_.open(path, std::ios::trunc);
+  ESCHED_CHECK(out_.good(), "failed to open CSV file: " + path);
+  out_ << csv_encode_row(report_header()) << '\n' << std::flush;
+  opened_ = true;
+}
+
+void StreamingCsvReport::open_for_append() {
+  if (opened_) return;
+  std::error_code ec;
+  std::filesystem::resize_file(path_, truncate_at_, ec);
+  ESCHED_CHECK(!ec, "--stream resume: cannot truncate '" + path_ +
+                        "': " + ec.message());
+  out_.open(path_, std::ios::app);
+  ESCHED_CHECK(out_.good(), "failed to open CSV file: " + path_);
+  opened_ = true;
+}
+
+void StreamingCsvReport::add_row(std::size_t index, const RunPoint& point,
+                                 const RunResult& result) {
+  ESCHED_CHECK(!finished_, "streaming report already finished");
+  ESCHED_CHECK(!failed_, "streaming report in failed state (resumed rows "
+                         "did not match this sweep)");
+  if (index < resumed_) {
+    // Already on disk from the resumed file. The schema header is
+    // uniform across scenarios, so verify the kept row really is this
+    // sweep's row for this index — resuming onto some other sweep's
+    // --out must fail loudly, not mix two reports.
+    if (fnv1a64(csv_encode_row(report_row(point, result))) !=
+        resumed_hashes_[index]) {
+      failed_ = true;
+      throw Error("--stream resume: row " + std::to_string(index) + " in '" +
+                  path_ +
+                  "' does not match this sweep (was the file written by a "
+                  "different scenario or command line?)");
+    }
+    ++verified_;
+  } else {
+    pending_.emplace(index, report_row(point, result));
+  }
+  // Hold all appends until every resumed row has been re-verified: a
+  // foreign file must come through entirely untouched, however solve
+  // completions interleave.
+  if (verified_ < resumed_) return;
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    open_for_append();
+    const std::vector<std::string>& row = pending_.begin()->second;
+    out_ << csv_encode_row(row) << '\n' << std::flush;
+    summary_.add_row(row);
+    pending_.erase(pending_.begin());
+    ++next_;
+  }
+  ESCHED_CHECK(out_.good(), "error writing '" + path_ + "'");
+}
+
+void StreamingCsvReport::finish(std::size_t total) {
+  ESCHED_CHECK(!finished_ && !failed_, "streaming report not completable");
+  ESCHED_CHECK(pending_.empty() && next_ == total && verified_ == resumed_,
+               "streaming report incomplete: " + std::to_string(next_) +
+                   " of " + std::to_string(total) + " rows emitted");
+  open_for_append();
+  summary_.write(out_);
+  out_ << std::flush;
+  ESCHED_CHECK(out_.good(), "error writing '" + path_ + "'");
+  finished_ = true;
+}
+
+MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
+                             const std::string& out_path) {
+  ESCHED_CHECK(!inputs.empty(), "merge needs at least one input CSV");
+  // Stream into a sibling temp file and rename at the end: the output
+  // replaces `out_path` atomically, so a failed merge leaves no torn
+  // file and `--out` may even name one of the inputs.
+  const std::string tmp_path = out_path + ".merge-tmp";
+  std::vector<std::string> header;
+  std::ofstream out;
+  CsvSummary summary({});
+  MergeStats stats;
+  try {
+  for (const std::string& input : inputs) {
+    std::ifstream in(input, std::ios::binary);
+    ESCHED_CHECK(in.good(), "cannot read '" + input + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::size_t offset = 0;
+    std::vector<std::string> cells;
+    bool complete = false;
+    ESCHED_CHECK(csv_parse_record(text, &offset, &cells, &complete) &&
+                     complete && !cells.empty(),
+                 "'" + input + "' has no CSV header");
+    if (header.empty()) {
+      header = cells;
+      summary = CsvSummary(header);
+      out.open(tmp_path);
+      ESCHED_CHECK(out.good(), "failed to open CSV file: " + tmp_path);
+      out << csv_encode_row(header) << '\n';
+    } else {
+      ESCHED_CHECK(cells == header,
+                   "'" + input + "' has a different header than '" +
+                       inputs.front() + "'; refusing to merge");
+    }
+    while (csv_parse_record(text, &offset, &cells, &complete)) {
+      if (is_summary_record(cells)) continue;  // recomputed below
+      ESCHED_CHECK(complete, "'" + input + "' ends in a truncated row");
+      ESCHED_CHECK(cells.size() == header.size(),
+                   "'" + input + "' has a row with " +
+                       std::to_string(cells.size()) + " fields (header has " +
+                       std::to_string(header.size()) + ")");
+      out << csv_encode_row(cells) << '\n';
+      summary.add_row(cells);
+      ++stats.rows;
+    }
+    ++stats.files;
+  }
+  summary.write(out);
+  ESCHED_CHECK(out.good(), "error writing '" + tmp_path + "'");
+  } catch (...) {
+    out.close();
+    std::remove(tmp_path.c_str());
+    throw;
+  }
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, out_path, ec);
+  if (ec) std::remove(tmp_path.c_str());
+  ESCHED_CHECK(!ec, "cannot move merged report into place at '" + out_path +
+                        "': " + ec.message());
+  return stats;
 }
 
 void write_json_report(const std::string& path,

@@ -6,7 +6,9 @@
 // the bench harnesses and the CLI's --view flag share them.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -14,12 +16,119 @@
 
 namespace esched {
 
-/// The uniform report schema, one row per RunPoint (input order). Volatile
-/// columns (solve_seconds, from_cache) come last so sharded CSVs can be
-/// compared after stripping them.
+/// The uniform CSV report schema (one row per RunPoint, input order) is
+/// fully deterministic: volatile per-invocation facts — wall time and
+/// cache provenance — live in RunResult/SweepStats and the JSON stats
+/// block, never in CSV rows. That is what makes shard CSVs merge to the
+/// unsharded report byte-for-byte and an interrupted streaming run resume
+/// byte-identically. Every CSV report ends in a summary trailer ("# "
+/// comment lines) recomputed from the row text alone (see CsvSummary).
 void write_csv_report(const std::string& path,
                       const std::vector<RunPoint>& points,
                       const std::vector<RunResult>& results);
+
+/// The deterministic summary trailer of a CSV report: row count plus
+/// mean/min/max of the "et" column when the header has one. Accumulates
+/// from the *formatted cell text* (not the doubles behind it) in row
+/// order, so a merge that re-reads rows from disk reproduces the block
+/// byte-for-byte.
+class CsvSummary {
+ public:
+  explicit CsvSummary(const std::vector<std::string>& header);
+
+  /// Folds one data row in (cells must match the header arity).
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Writes the "# summary ..." lines.
+  void write(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_; }
+
+ private:
+  std::ptrdiff_t et_column_ = -1;
+  std::size_t rows_ = 0;
+  double et_sum_ = 0.0;
+  double et_min_ = 0.0;
+  double et_max_ = 0.0;
+};
+
+/// Streaming CSV report: rows are appended to `path` in input order as a
+/// sweep delivers them (feed SweepRunner's RowCallback into add_row), with
+/// a flush after every row so a running sweep can be tailed. Completions
+/// may arrive out of order; rows are buffered until their predecessors
+/// are on disk, so the file is always a clean input-order prefix plus at
+/// most one torn line if the process dies mid-write. With resume = true,
+/// an existing file with this report's header keeps its complete data
+/// rows (any torn tail and old summary trailer are truncated away) and
+/// add_row skips the indices already on disk — rerunning the identical
+/// command after an interruption yields a byte-identical final CSV.
+class StreamingCsvReport {
+ public:
+  /// Opens `path`. resume = false truncates unconditionally; resume =
+  /// true scans an existing file first (throws esched::Error when its
+  /// header is complete but does not match the report schema; a file
+  /// torn before even the header finished restarts fresh).
+  StreamingCsvReport(const std::string& path, bool resume);
+
+  /// Hands over the result of input index `index`; writes it (and any
+  /// buffered successors) once all earlier rows are on disk. An index
+  /// already emitted by a resumed file is not rewritten, but its
+  /// recomputed row is checked against the kept one — resuming onto a
+  /// CSV left by a *different* sweep throws instead of silently mixing
+  /// rows, and nothing is appended until every resumed row has been
+  /// verified (new rows buffer in the meantime), so a foreign file is
+  /// never written to at all. Not thread-safe on its own — SweepRunner
+  /// already serializes callback invocations.
+  void add_row(std::size_t index, const RunPoint& point,
+               const RunResult& result);
+
+  /// Writes the summary trailer and flushes. Requires every index in
+  /// [0, total) to have been delivered (or resumed); throws otherwise —
+  /// a crashed sweep leaves the file trailer-less and resumable.
+  void finish(std::size_t total);
+
+  /// Complete data rows recovered from the pre-existing file.
+  std::size_t rows_resumed() const { return resumed_; }
+  /// Data rows on disk so far (resumed + newly streamed).
+  std::size_t rows_emitted() const { return next_; }
+
+ private:
+  /// Truncates the resumed file to its clean prefix and opens it for
+  /// appending; deferred to the first actual write so a resume that
+  /// fails verification leaves the file bitwise untouched.
+  void open_for_append();
+
+  std::string path_;
+  std::ofstream out_;
+  CsvSummary summary_;
+  std::size_t truncate_at_ = 0;  ///< clean-prefix byte length on resume
+  bool opened_ = false;
+  std::size_t next_ = 0;     ///< lowest index not yet on disk
+  std::size_t resumed_ = 0;
+  std::size_t verified_ = 0; ///< resumed rows re-checked so far
+  bool finished_ = false;
+  bool failed_ = false;      ///< a verification failed; refuse all writes
+  std::map<std::size_t, std::vector<std::string>> pending_;
+  /// FNV-1a of each resumed row's encoded text, for the add_row check.
+  std::vector<std::uint64_t> resumed_hashes_;
+};
+
+/// Bookkeeping returned by merge_csv_reports.
+struct MergeStats {
+  std::size_t files = 0;
+  std::size_t rows = 0;
+};
+
+/// `esched merge`: concatenates the data rows of `inputs` (in argument
+/// order — shard order, for shard CSVs) under their common header and
+/// recomputes the summary trailer from the merged rows, writing the
+/// result to `out_path`. Inputs must share one header byte-for-byte
+/// (header-only CSVs from empty shards are fine); their own summary
+/// trailers are dropped. Merging shard CSVs of one sweep reproduces the
+/// unsharded report exactly. Throws esched::Error on unreadable input,
+/// header mismatch, or a malformed/truncated row.
+MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
+                             const std::string& out_path);
 
 /// Same rows as a JSON document: {"points": [...], "stats": {...}?}.
 void write_json_report(const std::string& path,

@@ -224,4 +224,19 @@ std::vector<RunPoint> Scenario::expand() const {
   return points;
 }
 
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                std::size_t index,
+                                                std::size_t count) {
+  ESCHED_CHECK(count >= 1 && index < count,
+               "shard index/count need count >= 1 and index < count");
+  // floor(i * total / count) without the i * total product: with
+  // total = q * count + r this is q * i + floor(r * i / count), and
+  // r * i < count^2 stays in range for any sane shard count.
+  ESCHED_CHECK(count <= 0xFFFFFFFFu, "shard count is implausibly large");
+  const std::size_t q = total / count;
+  const std::size_t r = total % count;
+  const auto begin_of = [&](std::size_t i) { return q * i + r * i / count; };
+  return {begin_of(index), begin_of(index + 1)};
+}
+
 }  // namespace esched

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/params.hpp"
@@ -141,6 +142,18 @@ struct Scenario {
   /// (unknown policy, unstable rho >= 1, ...).
   void validate() const;
 };
+
+/// Contiguous [begin, end) row range of shard `index` of `count` over a
+/// `total`-point sweep: begin = floor(index * total / count), computed
+/// division-first so it cannot overflow for very large sweeps (the naive
+/// index * total product wraps already around 2^64 / count points).
+/// Shards partition [0, total) exactly; when total < count the trailing
+/// shards are empty (begin == end), which the report layer emits as a
+/// header-only CSV that `esched merge` accepts. Throws when count == 0 or
+/// index >= count.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                std::size_t index,
+                                                std::size_t count);
 
 /// Named built-in scenarios, registered as embedded JSON specs through the
 /// same loader as user files (engine/spec): "fig4", "fig5", "fig6",

@@ -46,29 +46,42 @@ void SweepRunner::set_cache_dir(const std::string& directory) {
 }
 
 std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
-                                        SweepStats* stats) {
+                                        SweepStats* stats,
+                                        const RowCallback& on_row) {
   const auto start = std::chrono::steady_clock::now();
 
   // Deduplicate: first occurrence of each uncached key becomes a job, so a
   // point repeated across figure axes solves exactly once. Memory misses
-  // consult the disk cache before becoming jobs.
+  // consult the disk cache before becoming jobs. Points resolvable right
+  // now (memo/disk hits) fire on_row immediately; the rest register as
+  // waiters on their key and fire when the one solve of that key lands.
   std::vector<std::string> keys;
   keys.reserve(points.size());
   std::vector<std::size_t> jobs;  // indices into `points` to solve now
   std::unordered_map<std::string, std::size_t> seen;
+  std::unordered_map<std::string, std::vector<std::size_t>> waiters;
   std::size_t disk_hits = 0;
   for (std::size_t n = 0; n < points.size(); ++n) {
     keys.push_back(points[n].cache_key());
-    if (seen.count(keys.back()) != 0 || cache_.lookup(keys.back())) continue;
+    if (seen.count(keys.back()) != 0) {
+      if (on_row != nullptr) waiters[keys.back()].push_back(n);
+      continue;
+    }
+    if (auto memoized = cache_.lookup(keys.back())) {
+      if (on_row != nullptr) on_row(n, points[n], *memoized);
+      continue;
+    }
     if (disk_cache_ != nullptr) {
       if (auto loaded = disk_cache_->load(keys.back())) {
         cache_.insert(keys.back(), *loaded);
         ++disk_hits;
+        if (on_row != nullptr) on_row(n, points[n], *loaded);
         continue;
       }
     }
     seen.emplace(keys.back(), n);
     jobs.push_back(n);
+    if (on_row != nullptr) waiters[keys.back()].push_back(n);
   }
 
   // Group jobs before fanning out: exact-CTMC points that share a chain
@@ -104,9 +117,31 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
       first_error = "sweep point '" + key + "' failed: " + what;
     }
   };
+  std::mutex callback_mutex;
+  bool callback_failed = false;  // guarded by callback_mutex
   const auto store = [&](std::size_t n, const RunResult& result) {
     cache_.insert(keys[n], result);
     if (disk_cache_ != nullptr) disk_cache_->store(keys[n], result);
+    if (on_row == nullptr) return;
+    // Deliver to every input index waiting on this key, serially: the
+    // mutex both orders concurrent deliveries and publishes them, so the
+    // callback can be lock-free. A throwing callback (e.g. a streaming
+    // resume mismatch) fails the whole run with its own message — and
+    // ends all further delivery, so a consumer that rejected one row is
+    // never handed more — while workers keep solving into the caches.
+    std::lock_guard<std::mutex> lock(callback_mutex);
+    if (callback_failed) return;
+    try {
+      for (const std::size_t waiter : waiters[keys[n]]) {
+        on_row(waiter, points[waiter], result);
+      }
+    } catch (const std::exception& e) {
+      callback_failed = true;
+      std::lock_guard<std::mutex> error_lock(error_mutex);
+      if (first_error.empty()) {
+        first_error = std::string("row callback failed: ") + e.what();
+      }
+    }
   };
   const auto worker = [&] {
     for (;;) {

@@ -13,6 +13,7 @@
 // RNG seed derives from its cache key, never from scheduling order.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -49,6 +50,18 @@ struct SweepStats {
   int threads_used = 0;
 };
 
+/// Row-completion callback: invoked once per input point as soon as its
+/// result is available, with the point's original index into the `points`
+/// argument. Invocations are serialized (the runner holds an internal
+/// mutex around every call), so the callback itself needs no locking, but
+/// they arrive in completion order, not input order — streaming consumers
+/// reorder (see StreamingCsvReport). Cache/disk hits fire before any
+/// worker starts; duplicates of an in-flight point fire when that point's
+/// one solve lands. The RunResult passed here carries from_cache = false;
+/// per-call provenance is reported on the returned vector only.
+using RowCallback = std::function<void(
+    std::size_t index, const RunPoint& point, const RunResult& result)>;
+
 /// Executes RunPoints on a worker pool of `num_threads` threads
 /// (0 = std::thread::hardware_concurrency()).
 class SweepRunner {
@@ -60,9 +73,12 @@ class SweepRunner {
   /// results in input order. `from_cache` is set on results that were
   /// memoized — including intra-call duplicates, which solve once. If any
   /// point's solve throws, the first error is re-thrown after all workers
-  /// join; successfully solved points stay cached.
+  /// join; successfully solved points stay cached — and have already been
+  /// delivered to `on_row`, which is what makes an interrupted streaming
+  /// run resumable.
   std::vector<RunResult> run(const std::vector<RunPoint>& points,
-                             SweepStats* stats = nullptr);
+                             SweepStats* stats = nullptr,
+                             const RowCallback& on_row = nullptr);
 
   /// Attaches a persistent cache directory (created if missing): memory
   /// misses consult disk before solving, and fresh solves are written

@@ -105,5 +105,77 @@ TEST(Csv, RejectsBadArity) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, Rfc4180QuotingRoundTrips) {
+  // Plain fields stay unquoted (canonical form)...
+  EXPECT_EQ(csv_encode_field("1.25"), "1.25");
+  EXPECT_EQ(csv_encode_row({"a", "b"}), "a,b");
+  // ...fields with commas/quotes/newlines get quoted and escaped.
+  EXPECT_EQ(csv_encode_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_encode_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_encode_field("two\nlines"), "\"two\nlines\"");
+
+  const std::vector<std::string> cells = {"plain", "with,comma",
+                                          "with \"quotes\"", "multi\nline",
+                                          ""};
+  EXPECT_EQ(csv_decode_row(csv_encode_row(cells)), cells);
+}
+
+TEST(Csv, WriterQuotesFieldsThatNeedIt) {
+  const std::string path = testing::TempDir() + "esched_test3.csv";
+  {
+    CsvWriter csv(path, {"label", "value"});
+    csv.add_row({"policy, with comma", "1"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "label,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"policy, with comma\",1");
+  EXPECT_EQ(csv_decode_row(line),
+            (std::vector<std::string>{"policy, with comma", "1"}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ParseRecordReportsTornLines) {
+  // A complete record, then one cut off mid-write (no trailing newline):
+  // the torn record must read as incomplete so a resuming streamer drops
+  // and rewrites it.
+  const std::string text = "a,\"b,1\"\nc,d";
+  std::size_t offset = 0;
+  std::vector<std::string> cells;
+  bool complete = false;
+  ASSERT_TRUE(csv_parse_record(text, &offset, &cells, &complete));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(cells, (std::vector<std::string>{"a", "b,1"}));
+  ASSERT_TRUE(csv_parse_record(text, &offset, &cells, &complete));
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(cells, (std::vector<std::string>{"c", "d"}));
+  EXPECT_FALSE(csv_parse_record(text, &offset, &cells, &complete));
+
+  // An unterminated quote is torn too, even mid-cell.
+  offset = 0;
+  ASSERT_TRUE(csv_parse_record("x,\"unclosed", &offset, &cells, &complete));
+  EXPECT_FALSE(complete);
+
+  // CRLF terminators are stripped for quoted and unquoted final cells
+  // alike; a newline inside quotes is field content, not a terminator.
+  offset = 0;
+  ASSERT_TRUE(csv_parse_record("p,\"a,b\"\r\nq,r\r\n", &offset, &cells,
+                               &complete));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(cells, (std::vector<std::string>{"p", "a,b"}));
+  ASSERT_TRUE(csv_parse_record("p,\"a,b\"\r\nq,r\r\n", &offset, &cells,
+                               &complete));
+  EXPECT_EQ(cells, (std::vector<std::string>{"q", "r"}));
+  offset = 0;
+  ASSERT_TRUE(csv_parse_record("\"em\nbed\",2\n", &offset, &cells,
+                               &complete));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(cells, (std::vector<std::string>{"em\nbed", "2"}));
+
+  EXPECT_THROW(csv_decode_row("a,\"unclosed"), Error);
+}
+
 }  // namespace
 }  // namespace esched

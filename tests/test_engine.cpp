@@ -486,8 +486,14 @@ TEST(Report, CsvAndJsonRoundTrip) {
   std::getline(csv, line);
   EXPECT_NE(line.find("policy"), std::string::npos);
   std::size_t rows = 0;
-  while (std::getline(csv, line)) ++rows;
+  std::size_t summary_lines = 0;
+  while (std::getline(csv, line)) {
+    if (line.rfind("# ", 0) == 0) ++summary_lines;
+    else ++rows;
+  }
   EXPECT_EQ(rows, points.size());
+  // Every CSV report ends in the deterministic summary trailer.
+  EXPECT_EQ(summary_lines, 2u);
   std::remove(csv_path.c_str());
 
   const std::string json_path = testing::TempDir() + "engine_report.json";

@@ -11,6 +11,10 @@
 //   esched run fig4 fig5 --json out.json # shared memo cache across both
 //   esched run fig5 --shard 0/2 --out s0.csv   # order-independent shards
 //   esched run fig5 --cache-dir .esched-cache  # skip already-solved points
+//   esched run fig5 --stream --out f5.csv      # tailable; resumes after a kill
+//   esched merge s0.csv s1.csv --out merged.csv
+//   esched cache ls --cache-dir .esched-cache
+//   esched cache gc --cache-dir .esched-cache --max-age 86400
 //
 // (`esched <scenario>` without the `run` keyword still works.)
 //
@@ -20,10 +24,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "engine/disk_cache.hpp"
 #include "engine/report.hpp"
 #include "engine/scenario.hpp"
 #include "engine/spec.hpp"
@@ -36,24 +43,38 @@ void print_usage() {
       "usage: esched [run] <scenario-or-spec.json>... [options]\n"
       "       esched list\n"
       "       esched show <scenario>\n"
+      "       esched merge <shard.csv>... --out merged.csv\n"
+      "       esched cache ls --cache-dir D\n"
+      "       esched cache gc --cache-dir D [--max-age S] [--max-bytes B]\n"
       "\n"
       "A scenario argument is a built-in name (see `esched list`) or a\n"
       "path to a JSON spec file (anything containing '/' or ending in\n"
       "'.json'); see README for the spec schema.\n"
       "\n"
-      "options:\n"
+      "run options:\n"
       "  --threads N     worker threads (default: all hardware threads)\n"
       "  --seed S        base RNG seed for simulation points (default: 1)\n"
       "  --sim-jobs N    measured completions per simulation point\n"
       "  --view NAME     report view (default: the scenario's own view)\n"
       "  --shard I/N     run only shard I of N (contiguous row-order\n"
-      "                  split; concatenating the shard CSVs minus their\n"
-      "                  headers reproduces the unsharded CSV)\n"
+      "                  split; `esched merge` of the shard CSVs in shard\n"
+      "                  order reproduces the unsharded report)\n"
       "  --cache-dir D   persistent result cache: skip points already\n"
       "                  solved by earlier invocations, store new ones\n"
       "  --out PATH      CSV output path (default: <scenario>.csv)\n"
+      "  --stream        append CSV rows to --out as points finish (flushed\n"
+      "                  per row, so the file can be tailed); if --out\n"
+      "                  already holds a partial run, its complete rows are\n"
+      "                  kept and the sweep resumes after them (pair with\n"
+      "                  --cache-dir so kept rows are disk hits, not\n"
+      "                  re-solves — resume skips the writes either way)\n"
       "  --json PATH     also write a JSON report\n"
-      "  --rows N        summary rows printed per scenario (default: 20)\n");
+      "  --rows N        summary rows printed per scenario (default: 20)\n"
+      "\n"
+      "cache options:\n"
+      "  --max-age S     gc: evict entries older than S seconds\n"
+      "  --max-bytes B   gc: then evict oldest until the directory holds\n"
+      "                  at most B bytes\n");
 }
 
 void print_scenarios() {
@@ -98,6 +119,91 @@ bool looks_like_spec_path(const std::string& arg) {
   return arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0;
 }
 
+/// `esched merge <a.csv> <b.csv> ... --out merged.csv`
+int run_merge(const std::vector<std::string>& args) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (std::size_t n = 0; n < args.size(); ++n) {
+    if (args[n] == "--out") {
+      if (n + 1 >= args.size()) throw esched::Error("--out expects a value");
+      out_path = args[++n];
+    } else if (!args[n].empty() && args[n][0] == '-') {
+      throw esched::Error("unknown merge option '" + args[n] + "'");
+    } else {
+      inputs.push_back(args[n]);
+    }
+  }
+  if (inputs.empty()) {
+    throw esched::Error("merge expects at least one input CSV");
+  }
+  if (out_path.empty()) {
+    throw esched::Error("merge requires --out <merged.csv>");
+  }
+  const esched::MergeStats stats =
+      esched::merge_csv_reports(inputs, out_path);
+  std::printf("merged %zu file%s into %s (%zu rows)\n", stats.files,
+              stats.files == 1 ? "" : "s", out_path.c_str(), stats.rows);
+  return 0;
+}
+
+/// `esched cache ls|gc --cache-dir D [--max-age S] [--max-bytes B]`
+int run_cache(const std::vector<std::string>& args) {
+  if (args.empty() || (args[0] != "ls" && args[0] != "gc")) {
+    throw esched::Error("cache expects a subcommand: ls or gc");
+  }
+  const std::string action = args[0];
+  std::string cache_dir;
+  std::optional<double> max_age;
+  std::optional<std::uintmax_t> max_bytes;
+  for (std::size_t n = 1; n < args.size(); ++n) {
+    const auto next_value = [&](const char* flag) -> std::string {
+      if (n + 1 >= args.size()) {
+        throw esched::Error(std::string(flag) + " expects a value");
+      }
+      return args[++n];
+    };
+    if (args[n] == "--cache-dir") {
+      cache_dir = next_value("--cache-dir");
+    } else if (args[n] == "--max-age" && action == "gc") {
+      max_age = static_cast<double>(
+          parse_long("--max-age", next_value("--max-age")));
+    } else if (args[n] == "--max-bytes" && action == "gc") {
+      max_bytes = static_cast<std::uintmax_t>(
+          parse_long("--max-bytes", next_value("--max-bytes")));
+    } else {
+      throw esched::Error("unknown cache " + action + " option '" + args[n] +
+                          "'");
+    }
+  }
+  if (cache_dir.empty()) {
+    throw esched::Error("cache " + action + " requires --cache-dir D");
+  }
+  const esched::DiskResultCache cache(cache_dir);
+  if (action == "ls") {
+    const auto entries = cache.list_entries();
+    std::uintmax_t total_bytes = 0;
+    for (const auto& entry : entries) {
+      total_bytes += entry.bytes;
+      std::printf("%8ju B  age %8.0f s  %s\n",
+                  static_cast<std::uintmax_t>(entry.bytes), entry.age_seconds,
+                  entry.key.empty() ? entry.path.c_str() : entry.key.c_str());
+    }
+    std::printf("total: %zu entr%s, %ju bytes in %s\n", entries.size(),
+                entries.size() == 1 ? "y" : "ies", total_bytes,
+                cache_dir.c_str());
+    return 0;
+  }
+  if (!max_age.has_value() && !max_bytes.has_value()) {
+    throw esched::Error("cache gc needs --max-age and/or --max-bytes");
+  }
+  const esched::CacheGcResult result = cache.gc(max_age, max_bytes);
+  std::printf(
+      "cache gc: removed %zu of %zu entries (%ju bytes freed, %ju kept)\n",
+      result.removed, result.scanned, result.bytes_removed,
+      result.bytes_kept);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,8 +220,15 @@ int main(int argc, char** argv) {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   bool show_spec = false;
+  bool stream = false;
 
   try {
+    if (argc > 1) {
+      const std::string subcommand = argv[1];
+      const std::vector<std::string> rest(argv + 2, argv + argc);
+      if (subcommand == "merge") return run_merge(rest);
+      if (subcommand == "cache") return run_cache(rest);
+    }
     for (int n = 1; n < argc; ++n) {
       const std::string arg = argv[n];
       const auto next_value = [&](const char* flag) -> std::string {
@@ -153,6 +266,8 @@ int main(int argc, char** argv) {
         cache_dir = next_value("--cache-dir");
       } else if (arg == "--out") {
         out_path = next_value("--out");
+      } else if (arg == "--stream") {
+        stream = true;
       } else if (arg == "--json") {
         json_path = next_value("--json");
       } else if (arg == "--rows") {
@@ -182,12 +297,27 @@ int main(int argc, char** argv) {
       print_scenarios();
       return 1;
     }
+    if (stream && out_path.empty()) {
+      throw esched::Error("--stream requires --out PATH");
+    }
 
     esched::SweepRunner runner(threads);
     if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
     // --out/--json collect every scenario into ONE combined report (the
     // schema is uniform across solvers); without --out each scenario
-    // writes its own <name>.csv.
+    // writes its own <name>.csv. With --stream, rows go to --out the
+    // moment they complete (resuming a partial file when one exists)
+    // instead of in one write at the end.
+    std::unique_ptr<esched::StreamingCsvReport> stream_report;
+    if (stream) {
+      stream_report = std::make_unique<esched::StreamingCsvReport>(
+          out_path, /*resume=*/true);
+      if (stream_report->rows_resumed() > 0) {
+        std::printf("resuming %s: %zu complete rows kept\n", out_path.c_str(),
+                    stream_report->rows_resumed());
+      }
+    }
+    std::size_t streamed_offset = 0;
     std::vector<esched::RunPoint> all_points;
     std::vector<esched::RunResult> all_results;
     esched::SweepStats combined;
@@ -203,18 +333,29 @@ int main(int argc, char** argv) {
                   scenario.description.c_str());
       auto points = scenario.expand();
       if (shard_count > 1) {
-        // Contiguous row-order split: concatenating shard CSVs in shard
-        // order reproduces the unsharded report row for row.
+        // Contiguous row-order split: `esched merge` of the shard CSVs in
+        // shard order reproduces the unsharded report row for row.
         const std::size_t total = points.size();
-        const std::size_t begin = shard_index * total / shard_count;
-        const std::size_t end = (shard_index + 1) * total / shard_count;
+        const auto [begin, end] =
+            esched::shard_range(total, shard_index, shard_count);
         points.assign(points.begin() + static_cast<std::ptrdiff_t>(begin),
                       points.begin() + static_cast<std::ptrdiff_t>(end));
-        std::printf("shard %zu/%zu: points %zu..%zu of %zu\n", shard_index,
-                    shard_count, begin, end, total);
+        std::printf("shard %zu/%zu: points %zu..%zu of %zu%s\n", shard_index,
+                    shard_count, begin, end, total,
+                    begin == end ? " (empty)" : "");
       }
       esched::SweepStats stats;
-      const auto results = runner.run(points, &stats);
+      esched::RowCallback on_row;
+      if (stream_report != nullptr) {
+        const std::size_t base = streamed_offset;
+        on_row = [&stream_report, base](std::size_t index,
+                                        const esched::RunPoint& point,
+                                        const esched::RunResult& result) {
+          stream_report->add_row(base + index, point, result);
+        };
+      }
+      const auto results = runner.run(points, &stats, on_row);
+      streamed_offset += points.size();
 
       // Figure views need the full grid; sharded runs fall back to the
       // generic table.
@@ -246,7 +387,13 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
-    if (!out_path.empty()) {
+    if (stream_report != nullptr) {
+      stream_report->finish(streamed_offset);
+      std::printf("streamed %s (%zu rows, %zu resumed, %zu scenario%s)\n",
+                  out_path.c_str(), stream_report->rows_emitted(),
+                  stream_report->rows_resumed(), scenario_args.size(),
+                  scenario_args.size() == 1 ? "" : "s");
+    } else if (!out_path.empty()) {
       esched::write_csv_report(out_path, all_points, all_results);
       std::printf("wrote %s (%zu rows, %zu scenario%s)\n", out_path.c_str(),
                   all_points.size(), scenario_args.size(),
