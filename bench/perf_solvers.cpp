@@ -13,6 +13,7 @@
 #include "core/if_analysis.hpp"
 #include "core/policies.hpp"
 #include "phase/fit.hpp"
+#include "phase/size_dist.hpp"
 #include "queueing/mm1.hpp"
 #include "sim/cluster_sim.hpp"
 #include "sim/ctmc_sim.hpp"
@@ -51,6 +52,26 @@ void BM_ExactCtmcSolve(benchmark::State& state) {
   state.SetComplexityN(trunc);
 }
 BENCHMARK(BM_ExactCtmcSolve)->Arg(20)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+// The same truncated solve with Erlang-3 inelastic sizes: the state
+// augmentation multiplies the space by the seat-phase configurations
+// (C(k+m, m) per (w, j) cell), which is the cost of dropping the Exp(mu_I)
+// assumption exactly rather than by simulation.
+void BM_ExactCtmcPhSolve(benchmark::State& state) {
+  const long trunc = state.range(0);
+  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+  const PhaseType erl3 = SizeDistSpec::parse("erlang:3").compile(p.mu_i);
+  ExactCtmcOptions opt;
+  opt.imax = opt.jmax = trunc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_exact_ctmc_ph(p, InelasticFirst{}, erl3, opt)
+            .mean_response_time);
+  }
+  state.SetComplexityN(trunc);
+}
+BENCHMARK(BM_ExactCtmcPhSolve)->Arg(20)->Arg(40)->Arg(80)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
 void BM_JobLevelSimulator(benchmark::State& state) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
 
 #include "common/error.hpp"
 #include "markov/ctmc.hpp"
@@ -123,6 +126,312 @@ ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
                                  const AllocationPolicy& policy,
                                  const ExactCtmcOptions& options) {
   return ExactCtmcBatch(params, options).solve(policy);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-type inelastic sizes: the augmented chain.
+
+namespace {
+
+/// Augmented state: c[s] in-service inelastic jobs in phase s, w waiting
+/// inelastic jobs, j elastic jobs. i == sum(c) + w.
+struct PhState {
+  std::vector<int> c;
+  long w = 0;
+  long j = 0;
+};
+
+/// Hard ceiling on the enumerated reachable state space — past this the
+/// stationary solve is hopeless anyway and the user should reach for the
+/// simulator or a looser truncation.
+constexpr std::size_t kMaxPhStates = 5000000;
+
+/// Most phases the augmented chain accepts; C(k+m, m) seat configurations
+/// per (w, j) cell grow combinatorially in m.
+constexpr std::size_t kMaxPhPhases = 16;
+
+class PhChainBuilder {
+ public:
+  PhChainBuilder(const SystemParams& params, const AllocationPolicy& policy,
+                 const PhaseType& dist, const ExactCtmcOptions& options)
+      : params_(params), policy_(policy), dist_(dist), options_(options),
+        m_(dist.num_phases()),
+        seat_cap_(std::min<long>(params.k, options.imax)),
+        seat_cells_(static_cast<std::size_t>((options.imax + 1) *
+                                             (options.jmax + 1))) {
+    // Mixed-radix key capacity check: m digits of base (seat_cap + 1) plus
+    // the w and j digits must fit a 64-bit key.
+    long double capacity = 1.0L;
+    for (std::size_t s = 0; s < m_; ++s) capacity *= seat_cap_ + 1;
+    capacity *= options_.imax + 1;
+    capacity *= options_.jmax + 1;
+    ESCHED_CHECK(capacity < 9.2e18L,
+                 "phase-type exact solve: state key space overflows; reduce "
+                 "truncation or phase count, or use the sim backend");
+  }
+
+  std::size_t intern(const PhState& state) {
+    const std::uint64_t key = encode(state);
+    const auto [it, inserted] = index_.emplace(key, states_.size());
+    if (inserted) {
+      ESCHED_CHECK(states_.size() < kMaxPhStates,
+                   "phase-type exact solve exceeds " +
+                       std::to_string(kMaxPhStates) +
+                       " states; reduce truncation or phase count, or use "
+                       "the sim backend");
+      states_.push_back(state);
+    }
+    return it->second;
+  }
+
+  /// The policy's inelastic seat count at (i, j). Throws on fractional
+  /// allocations — the phase-count state only models whole servers.
+  /// Memoized per (i, j): the augmentation visits each cell once per
+  /// phase configuration, so the virtual allocate() would otherwise be
+  /// recomputed C(k+m, m) times per cell in the hot enumeration loop.
+  long seats_at(long i, long j, double* elastic_out = nullptr) {
+    SeatCell& cell =
+        seat_cells_[static_cast<std::size_t>(i * (options_.jmax + 1) + j)];
+    if (cell.seats < 0) {
+      const State state{i, j};
+      policy_.check_feasible(state, params_);
+      const Allocation a = policy_.allocate(state, params_);
+      const long seats = std::lround(a.inelastic);
+      ESCHED_CHECK(
+          std::abs(a.inelastic - static_cast<double>(seats)) <= 1e-9,
+          "policy '" + policy_.name() +
+              "' allocates fractional servers to inelastic jobs; phase-type "
+              "inelastic sizes need integral allocations (use the sim "
+              "backend)");
+      cell.seats = seats;
+      cell.elastic = a.elastic;
+    }
+    if (elastic_out != nullptr) *elastic_out = cell.elastic;
+    return cell.seats;
+  }
+
+  /// Emits the transitions of the event "the system just moved to
+  /// (c, w, j)" from state `from` at total rate `rate`: waiting jobs are
+  /// admitted into free seats (phases drawn iid from alpha), splitting the
+  /// rate across the multinomial phase assignments.
+  void emit_with_admissions(std::size_t from, PhState to, double rate) {
+    const long started =
+        std::accumulate(to.c.begin(), to.c.end(), 0L,
+                        [](long acc, int v) { return acc + v; });
+    const long i = started + to.w;
+    const long seats = seats_at(i, to.j);
+    const long admit = std::min(to.w, std::max(0L, seats - started));
+    to.w -= admit;
+    emit_phase_assignments(from, to, admit, 0, rate);
+  }
+
+  /// Builds the reachable chain from the empty system.
+  void build() {
+    (void)intern(PhState{std::vector<int>(m_, 0), 0, 0});
+    const auto& t = dist_.sub_generator();
+    const auto& exit = dist_.exit_rates();
+    for (std::size_t n = 0; n < states_.size(); ++n) {
+      // states_ grows during iteration; copy the current state.
+      const PhState st = states_[n];
+      const long started =
+          std::accumulate(st.c.begin(), st.c.end(), 0L,
+                          [](long acc, int v) { return acc + v; });
+      const long i = started + st.w;
+      double elastic_alloc = 0.0;
+      const long seats = seats_at(i, st.j, &elastic_alloc);
+      const bool active = seats >= started;
+      if (!active) {
+        ESCHED_CHECK(
+            seats == 0,
+            "policy '" + policy_.name() + "' preempts " +
+                std::to_string(started - seats) + " of " +
+                std::to_string(started) +
+                " in-service inelastic jobs while keeping others running; "
+                "phase-type inelastic sizes support only all-or-nothing "
+                "preemption (use the sim backend)");
+      }
+
+      // Inelastic arrival (dropped at the boundary).
+      if (i < options_.imax) {
+        PhState to = st;
+        to.w += 1;
+        emit_with_admissions(n, std::move(to), params_.lambda_i);
+      }
+      // Elastic arrival.
+      if (st.j < options_.jmax) {
+        PhState to = st;
+        to.j += 1;
+        emit_with_admissions(n, std::move(to), params_.lambda_e);
+      }
+      // Phase progression and inelastic completions (served jobs only).
+      if (active) {
+        for (std::size_t s = 0; s < m_; ++s) {
+          if (st.c[s] == 0) continue;
+          const double count = static_cast<double>(st.c[s]);
+          for (std::size_t s2 = 0; s2 < m_; ++s2) {
+            if (s2 == s || t(s, s2) <= 0.0) continue;
+            PhState to = st;
+            to.c[s] -= 1;
+            to.c[s2] += 1;
+            add(n, intern(to), count * t(s, s2));
+          }
+          if (exit[s] > 0.0) {
+            PhState to = st;
+            to.c[s] -= 1;
+            emit_with_admissions(n, std::move(to), count * exit[s]);
+          }
+        }
+      }
+      // Elastic completion (elastic sizes stay exponential).
+      const double usable = params_.usable_elastic(elastic_alloc, st.j);
+      if (st.j > 0 && usable > 0.0) {
+        PhState to = st;
+        to.j -= 1;
+        emit_with_admissions(n, std::move(to), usable * params_.mu_e);
+      }
+    }
+  }
+
+  ExactCtmcResult solve() {
+    build();
+    SparseCtmc chain(states_.size());
+    for (const CtmcTransition& tr : transitions_) {
+      chain.add_rate(tr.from, tr.to, tr.rate);
+    }
+    chain.freeze();
+
+    Vector pi;
+    StationarySolveInfo solve_info;
+    if (states_.size() <= options_.gth_state_limit) {
+      pi = gth_stationary(chain);
+      solve_info.converged = true;
+      solve_info.residual = stationary_residual(chain, pi);
+    } else {
+      pi = sor_stationary(chain, options_.sor_tol, options_.sor_max_iters,
+                          options_.sor_omega, &solve_info);
+      ESCHED_CHECK(solve_info.converged,
+                   "SOR did not converge; increase iterations or loosen tol");
+    }
+
+    ExactCtmcResult result;
+    result.num_states = states_.size();
+    result.solve_info = solve_info;
+    for (std::size_t n = 0; n < states_.size(); ++n) {
+      const PhState& st = states_[n];
+      const long started =
+          std::accumulate(st.c.begin(), st.c.end(), 0L,
+                          [](long acc, int v) { return acc + v; });
+      const long i = started + st.w;
+      const double p = pi[n];
+      result.mean_jobs_i += static_cast<double>(i) * p;
+      result.mean_jobs_e += static_cast<double>(st.j) * p;
+      if (i == options_.imax || st.j == options_.jmax) {
+        result.boundary_mass += p;
+      }
+    }
+    const double total_lambda = params_.lambda_i + params_.lambda_e;
+    result.mean_response_time =
+        (result.mean_jobs_i + result.mean_jobs_e) / total_lambda;
+    result.mean_response_time_i =
+        params_.lambda_i > 0.0 ? result.mean_jobs_i / params_.lambda_i : 0.0;
+    result.mean_response_time_e =
+        params_.lambda_e > 0.0 ? result.mean_jobs_e / params_.lambda_e : 0.0;
+    return result;
+  }
+
+ private:
+  std::uint64_t encode(const PhState& state) const {
+    std::uint64_t key = 0;
+    for (std::size_t s = 0; s < m_; ++s) {
+      key = key * static_cast<std::uint64_t>(seat_cap_ + 1) +
+            static_cast<std::uint64_t>(state.c[s]);
+    }
+    key = key * static_cast<std::uint64_t>(options_.imax + 1) +
+          static_cast<std::uint64_t>(state.w);
+    key = key * static_cast<std::uint64_t>(options_.jmax + 1) +
+          static_cast<std::uint64_t>(state.j);
+    return key;
+  }
+
+  void add(std::size_t from, std::size_t to, double rate) {
+    transitions_.push_back({from, to, rate});
+  }
+
+  /// Distributes `admit` fresh jobs over the initial-phase distribution:
+  /// phase s takes d of the remaining jobs with binomial weight
+  /// C(n, d) alpha_s^d and the rest recurse into the later phases, which
+  /// telescopes to the multinomial law (total emitted probability 1, since
+  /// the alphas sum to 1). Zero-probability branches are pruned, so an
+  /// Erlang (alpha = e_1) admission stays a single destination.
+  void emit_phase_assignments(std::size_t from, const PhState& to, long admit,
+                              std::size_t s, double weight) {
+    if (admit == 0) {
+      add(from, intern(to), weight);
+      return;
+    }
+    ESCHED_ASSERT(s < m_, "phase assignment ran out of phases");
+    const double alpha_s = dist_.alpha()[s];
+    if (s + 1 == m_) {
+      if (alpha_s <= 0.0) return;  // dead branch: jobs cannot start here
+      PhState final = to;
+      final.c[s] += static_cast<int>(admit);
+      double w = weight;
+      for (long d = 0; d < admit; ++d) w *= alpha_s;
+      add(from, intern(final), w);
+      return;
+    }
+    double choose = 1.0;
+    double p_pow = 1.0;
+    for (long d = 0; d <= admit; ++d) {
+      if (p_pow > 0.0) {
+        PhState next = to;
+        next.c[s] += static_cast<int>(d);
+        emit_phase_assignments(from, next, admit - d, s + 1,
+                               weight * choose * p_pow);
+      }
+      choose = choose * static_cast<double>(admit - d) /
+               static_cast<double>(d + 1);
+      p_pow *= alpha_s;
+    }
+  }
+
+  /// Memoized per-(i, j) policy decision (seats < 0 = not yet computed).
+  struct SeatCell {
+    long seats = -1;
+    double elastic = 0.0;
+  };
+
+  const SystemParams& params_;
+  const AllocationPolicy& policy_;
+  const PhaseType& dist_;
+  const ExactCtmcOptions& options_;
+  const std::size_t m_;
+  const long seat_cap_;
+  std::vector<SeatCell> seat_cells_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<PhState> states_;
+  std::vector<CtmcTransition> transitions_;
+};
+
+}  // namespace
+
+ExactCtmcResult solve_exact_ctmc_ph(const SystemParams& params,
+                                    const AllocationPolicy& policy,
+                                    const PhaseType& size_dist_i,
+                                    const ExactCtmcOptions& options) {
+  params.validate();
+  ESCHED_CHECK(params.stable(), "exact solve requires rho < 1");
+  ESCHED_CHECK(options.imax >= 1 && options.jmax >= 1,
+               "truncation levels must be >= 1");
+  ESCHED_CHECK(params.lambda_i + params.lambda_e > 0.0,
+               "exact solve requires some arrivals");
+  ESCHED_CHECK(size_dist_i.num_phases() <= kMaxPhPhases,
+               "phase-type inelastic size has " +
+                   std::to_string(size_dist_i.num_phases()) +
+                   " phases; the exact backend supports at most " +
+                   std::to_string(kMaxPhPhases) + " (use the sim backend)");
+  PhChainBuilder builder(params, policy, size_dist_i, options);
+  return builder.solve();
 }
 
 }  // namespace esched

@@ -13,6 +13,7 @@
 #include "core/params.hpp"
 #include "core/policy.hpp"
 #include "markov/stationary.hpp"
+#include "phase/phase_type.hpp"
 
 namespace esched {
 
@@ -77,6 +78,29 @@ class ExactCtmcBatch {
   /// adds the policy's service transitions.
   SparseCtmc skeleton_;
 };
+
+/// Exact truncated solve with phase-type *inelastic* job sizes (elastic
+/// sizes stay Exp(mu_E)), by state augmentation: the chain tracks
+/// (c_1..c_m, w, j) where c_s counts in-service inelastic jobs in phase s
+/// of `size_dist_i` (which must already be scaled to mean 1/mu_I, see
+/// SizeDistSpec::compile), w counts waiting inelastic jobs, and j counts
+/// elastic jobs. Only the reachable component is enumerated (BFS from the
+/// empty system), arrivals are dropped at the i/j truncation boundary, and
+/// boundary_mass reports the stationary mass sitting on it — the same
+/// truncation-mass accounting as the exponential chain.
+///
+/// Exactness requires that the phase counts be a sufficient statistic,
+/// which holds when (a) the policy's inelastic allocation is integral in
+/// every state (one whole server per served job, the FCFS semantics of the
+/// simulator) and (b) preemption is all-or-nothing: the allocation never
+/// drops strictly between 0 and the number of jobs already in service
+/// (jobs pause holding their phase and all resume together — EF's shape;
+/// IF never preempts). Violations throw esched::Error naming the policy;
+/// use the simulation backend for such policies.
+ExactCtmcResult solve_exact_ctmc_ph(const SystemParams& params,
+                                    const AllocationPolicy& policy,
+                                    const PhaseType& size_dist_i,
+                                    const ExactCtmcOptions& options = {});
 
 /// Truncation level at which a geometric tail of ratio rho holds at most
 /// `epsilon` mass — a reasonable default for both dimensions. Clamped to

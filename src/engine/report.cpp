@@ -19,11 +19,13 @@ namespace esched {
 
 namespace {
 
-const std::vector<std::string>& report_header() {
+const std::vector<std::string>& report_header(bool with_size_dist) {
   // Every column is a deterministic function of the point and its solve —
   // wall time and cache provenance stay out on purpose, so shard merges
   // and streaming resumes compare byte-for-byte (they remain available in
-  // RunResult and the JSON stats block).
+  // RunResult and the JSON stats block). The size_dist columns exist only
+  // in reports that actually sweep/set a non-exponential size, so every
+  // pre-refactor report and golden keeps its exact schema.
   static const std::vector<std::string> header = {
       "k",           "rho",           "mu_i",          "mu_e",
       "elastic_cap", "lambda_i",      "lambda_e",      "policy",
@@ -34,13 +36,20 @@ const std::vector<std::string>& report_header() {
       "p95_e",       "p99_e",         "dom_viol_w",    "dom_viol_wi",
       "dom_gap",     "dom_checkpoints",
       "iterations",  "residual"};
-  return header;
+  static const std::vector<std::string> extended = [] {
+    std::vector<std::string> h = header;
+    h.push_back("size_dist_i");
+    h.push_back("size_dist_e");
+    return h;
+  }();
+  return with_size_dist ? extended : header;
 }
 
 std::vector<std::string> report_row(const RunPoint& point,
-                                    const RunResult& result) {
+                                    const RunResult& result,
+                                    bool with_size_dist) {
   const SystemParams& p = point.params;
-  return {std::to_string(p.k),
+  std::vector<std::string> row = {std::to_string(p.k),
           format_double(p.rho()),
           format_double(p.mu_i),
           format_double(p.mu_e),
@@ -72,6 +81,11 @@ std::vector<std::string> report_row(const RunPoint& point,
           std::to_string(result.dom_checkpoints),
           std::to_string(result.solver_iterations),
           format_double(result.solve_residual)};
+  if (with_size_dist) {
+    row.push_back(point.options.size_dist_i.canonical());
+    row.push_back(point.options.size_dist_e.canonical());
+  }
+  return row;
 }
 
 /// True for the "# summary ..." trailer lines a report CSV ends with
@@ -81,6 +95,16 @@ bool is_summary_record(const std::vector<std::string>& cells) {
 }
 
 }  // namespace
+
+bool report_has_size_dists(const std::vector<RunPoint>& points) {
+  for (const RunPoint& point : points) {
+    if (!point.options.size_dist_i.is_exponential() ||
+        !point.options.size_dist_e.is_exponential()) {
+      return true;
+    }
+  }
+  return false;
+}
 
 CsvSummary::CsvSummary(const std::vector<std::string>& header) {
   for (std::size_t c = 0; c < header.size(); ++c) {
@@ -121,15 +145,18 @@ void CsvSummary::write(std::ostream& os) const {
 
 void write_csv_report(const std::string& path,
                       const std::vector<RunPoint>& points,
-                      const std::vector<RunResult>& results) {
+                      const std::vector<RunResult>& results,
+                      std::optional<bool> with_size_dist_opt) {
   ESCHED_CHECK(points.size() == results.size(),
                "points/results size mismatch");
+  const bool with_size_dist =
+      with_size_dist_opt.value_or(report_has_size_dists(points));
   std::ofstream out(path);
   ESCHED_CHECK(out.good(), "failed to open CSV file: " + path);
-  out << csv_encode_row(report_header()) << '\n';
-  CsvSummary summary(report_header());
+  out << csv_encode_row(report_header(with_size_dist)) << '\n';
+  CsvSummary summary(report_header(with_size_dist));
   for (std::size_t n = 0; n < points.size(); ++n) {
-    const auto row = report_row(points[n], results[n]);
+    const auto row = report_row(points[n], results[n], with_size_dist);
     out << csv_encode_row(row) << '\n';
     summary.add_row(row);
   }
@@ -137,9 +164,12 @@ void write_csv_report(const std::string& path,
   ESCHED_CHECK(out.good(), "error writing '" + path + "'");
 }
 
-StreamingCsvReport::StreamingCsvReport(const std::string& path, bool resume)
-    : path_(path), summary_(report_header()) {
-  const std::size_t arity = report_header().size();
+StreamingCsvReport::StreamingCsvReport(const std::string& path, bool resume,
+                                       bool with_size_dist)
+    : path_(path),
+      with_size_dist_(with_size_dist),
+      summary_(report_header(with_size_dist)) {
+  const std::size_t arity = report_header(with_size_dist_).size();
   std::string existing;
   if (resume) {
     std::ifstream in(path, std::ios::binary);
@@ -161,7 +191,7 @@ StreamingCsvReport::StreamingCsvReport(const std::string& path, bool resume)
     const bool has_header =
         csv_parse_record(existing, &offset, &cells, &complete) && complete;
     if (has_header) {
-      ESCHED_CHECK(cells == report_header(),
+      ESCHED_CHECK(cells == report_header(with_size_dist_),
                    "--stream resume: '" + path +
                        "' exists with a different header; refusing to "
                        "append (remove it or pick another --out)");
@@ -185,7 +215,8 @@ StreamingCsvReport::StreamingCsvReport(const std::string& path, bool resume)
   }
   out_.open(path, std::ios::trunc);
   ESCHED_CHECK(out_.good(), "failed to open CSV file: " + path);
-  out_ << csv_encode_row(report_header()) << '\n' << std::flush;
+  out_ << csv_encode_row(report_header(with_size_dist_)) << '\n'
+       << std::flush;
   opened_ = true;
 }
 
@@ -210,7 +241,7 @@ void StreamingCsvReport::add_row(std::size_t index, const RunPoint& point,
     // uniform across scenarios, so verify the kept row really is this
     // sweep's row for this index — resuming onto some other sweep's
     // --out must fail loudly, not mix two reports.
-    if (fnv1a64(csv_encode_row(report_row(point, result))) !=
+    if (fnv1a64(csv_encode_row(report_row(point, result, with_size_dist_))) !=
         resumed_hashes_[index]) {
       failed_ = true;
       throw Error("--stream resume: row " + std::to_string(index) + " in '" +
@@ -220,7 +251,7 @@ void StreamingCsvReport::add_row(std::size_t index, const RunPoint& point,
     }
     ++verified_;
   } else {
-    pending_.emplace(index, report_row(point, result));
+    pending_.emplace(index, report_row(point, result, with_size_dist_));
   }
   // Hold all appends until every resumed row has been re-verified: a
   // foreign file must come through entirely untouched, however solve
@@ -317,21 +348,27 @@ MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
 void write_json_report(const std::string& path,
                        const std::vector<RunPoint>& points,
                        const std::vector<RunResult>& results,
-                       const SweepStats* stats) {
+                       const SweepStats* stats,
+                       std::optional<bool> with_size_dist_opt) {
   ESCHED_CHECK(points.size() == results.size(),
                "points/results size mismatch");
+  const bool with_size_dist =
+      with_size_dist_opt.value_or(report_has_size_dists(points));
   std::ofstream out(path);
   ESCHED_CHECK(out.good(), "cannot open '" + path + "' for writing");
-  const auto& header = report_header();
+  const auto& header = report_header(with_size_dist);
   out << "{\n  \"points\": [\n";
   for (std::size_t n = 0; n < points.size(); ++n) {
-    const auto row = report_row(points[n], results[n]);
+    const auto row = report_row(points[n], results[n], with_size_dist);
     out << "    {";
     for (std::size_t c = 0; c < header.size(); ++c) {
       if (c > 0) out << ", ";
-      // Only the policy/solver columns are strings; everything else is
-      // emitted numerically (format_double never produces non-JSON text).
-      const bool quoted = header[c] == "policy" || header[c] == "solver";
+      // Only the policy/solver/size-dist columns are strings; everything
+      // else is emitted numerically (format_double never produces non-JSON
+      // text).
+      const bool quoted = header[c] == "policy" || header[c] == "solver" ||
+                          header[c] == "size_dist_i" ||
+                          header[c] == "size_dist_e";
       out << '"' << header[c] << "\": ";
       if (quoted) out << '"' << row[c] << '"';
       else out << row[c];
@@ -405,17 +442,21 @@ void osprintf(std::ostream& os, const char* fmt, ...) {
 }
 
 /// Row-major shape of an expanded scenario: (cells, truncation, fit,
-/// policy, solver), mirroring Scenario::expand.
+/// size_dist, policy, solver), mirroring Scenario::expand.
 struct GridShape {
   std::size_t ncells = 0;
   std::size_t ntrunc = 1;
   std::size_t nfit = 1;
+  std::size_t ndist = 1;
   std::size_t npol = 1;
   std::size_t nsol = 1;
 
   std::size_t at(std::size_t cell, std::size_t trunc, std::size_t fit,
-                 std::size_t pol, std::size_t sol) const {
-    return (((cell * ntrunc + trunc) * nfit + fit) * npol + pol) * nsol + sol;
+                 std::size_t dist, std::size_t pol, std::size_t sol) const {
+    return ((((cell * ntrunc + trunc) * nfit + fit) * ndist + dist) * npol +
+            pol) *
+               nsol +
+           sol;
   }
 };
 
@@ -428,6 +469,7 @@ GridShape shape_of(const Scenario& s) {
                      : s.cases.size();
   shape.ntrunc = s.trunc_values.empty() ? 1 : s.trunc_values.size();
   shape.nfit = s.fit_orders.empty() ? 1 : s.fit_orders.size();
+  shape.ndist = s.size_dists.empty() ? 1 : s.size_dists.size();
   shape.npol = s.policies.size();
   shape.nsol = s.solvers.size();
   return shape;
@@ -482,8 +524,9 @@ void print_heatmap_view(std::ostream& os, const Scenario& s,
           "identical mu_i and mu_e grids");
   require(s.policies.size() == 2, view, "exactly two policies");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single solver and no truncation/fit/size_dist axes");
 
   const auto& grid = s.mu_i_values;
   const std::size_t nmu = grid.size();
@@ -492,7 +535,7 @@ void print_heatmap_view(std::ostream& os, const Scenario& s,
   const std::string& pol1 = s.policies[1];
   const auto result_at = [&](std::size_t r, std::size_t a, std::size_t b,
                              std::size_t policy) -> const RunResult& {
-    return results[shape.at((r * nmu + a) * nmu + b, 0, 0, policy, 0)];
+    return results[shape.at((r * nmu + a) * nmu + b, 0, 0, 0, policy, 0)];
   };
 
   for (std::size_t r = 0; r < s.rho_values.size(); ++r) {
@@ -547,8 +590,9 @@ void print_vs_mu_view(std::ostream& os, const Scenario& s,
           view, "single k, mu_e, and elastic_cap values");
   require(s.policies.size() == 2, view, "exactly two policies");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single solver and no truncation/fit/size_dist axes");
 
   const std::string& pol0 = s.policies[0];
   const std::string& pol1 = s.policies[1];
@@ -557,9 +601,9 @@ void print_vs_mu_view(std::ostream& os, const Scenario& s,
     Table table({"mu_I", "E[T] " + pol0, "E[T] " + pol1, "winner"});
     for (std::size_t m = 0; m < nmu; ++m) {
       const double et0 =
-          results[shape.at(r * nmu + m, 0, 0, 0, 0)].mean_response_time;
+          results[shape.at(r * nmu + m, 0, 0, 0, 0, 0)].mean_response_time;
       const double et1 =
-          results[shape.at(r * nmu + m, 0, 0, 1, 0)].mean_response_time;
+          results[shape.at(r * nmu + m, 0, 0, 0, 1, 0)].mean_response_time;
       table.add_row({format_double(s.mu_i_values[m]), format_double(et0),
                      format_double(et1), et0 <= et1 ? pol0 : pol1});
     }
@@ -581,8 +625,9 @@ void print_vs_k_view(std::ostream& os, const Scenario& s,
           view, "single rho, mu_e, and elastic_cap values");
   require(s.policies.size() == 2, view, "exactly two policies");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single solver and no truncation/fit/size_dist axes");
 
   const std::string& pol0 = s.policies[0];
   const std::string& pol1 = s.policies[1];
@@ -599,9 +644,9 @@ void print_vs_k_view(std::ostream& os, const Scenario& s,
                  "gap " + pol1 + "-" + pol0});
     for (std::size_t n = 0; n < s.k_values.size(); ++n) {
       const double et0 =
-          results[shape.at(n * nmu + panel, 0, 0, 0, 0)].mean_response_time;
+          results[shape.at(n * nmu + panel, 0, 0, 0, 0, 0)].mean_response_time;
       const double et1 =
-          results[shape.at(n * nmu + panel, 0, 0, 1, 0)].mean_response_time;
+          results[shape.at(n * nmu + panel, 0, 0, 0, 1, 0)].mean_response_time;
       table.add_row({std::to_string(s.k_values[n]), format_double(et0),
                      format_double(et1), format_double(et1 - et0)});
     }
@@ -618,8 +663,9 @@ void print_family_view(std::ostream& os, const Scenario& s,
   const char* view = "family";
   require(!s.cases.empty(), view, "a cases-based scenario");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single solver and no truncation/fit/size_dist axes");
   const auto policy_labels =
       labels_or(options.policy_labels, s.policies, view, "policy_labels");
   const auto column_labels =
@@ -638,7 +684,7 @@ void print_family_view(std::ostream& os, const Scenario& s,
     std::vector<double> et;
     et.reserve(shape.npol);
     for (std::size_t p = 0; p < shape.npol; ++p) {
-      et.push_back(results[shape.at(c, 0, 0, p, 0)].mean_response_time);
+      et.push_back(results[shape.at(c, 0, 0, 0, p, 0)].mean_response_time);
     }
     std::size_t best = 0;
     for (std::size_t n = 1; n < et.size(); ++n) {
@@ -672,8 +718,8 @@ void print_accuracy_view(std::ostream& os, const Scenario& s,
   const char* view = "accuracy";
   require(!s.cases.empty(), view, "a cases-based scenario");
   const GridShape shape = shape_of(s);
-  require(shape.ntrunc == 1 && shape.nfit == 1, view,
-          "no truncation/fit axes");
+  require(shape.ntrunc == 1 && shape.nfit == 1 && shape.ndist == 1, view,
+          "no truncation/fit/size_dist axes");
   const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
   const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
   const std::size_t sim = solver_index(s, SolverKind::kSimulation, view);
@@ -685,11 +731,11 @@ void print_accuracy_view(std::ostream& os, const Scenario& s,
     const CaseSpec& setting = s.cases[c];
     for (std::size_t p = 0; p < shape.npol; ++p) {
       const double et_qbd =
-          results[shape.at(c, 0, 0, p, qbd)].mean_response_time;
+          results[shape.at(c, 0, 0, 0, p, qbd)].mean_response_time;
       const double et_exact =
-          results[shape.at(c, 0, 0, p, exact)].mean_response_time;
+          results[shape.at(c, 0, 0, 0, p, exact)].mean_response_time;
       const double et_sim =
-          results[shape.at(c, 0, 0, p, sim)].mean_response_time;
+          results[shape.at(c, 0, 0, 0, p, sim)].mean_response_time;
       const double err_exact = relative_error(et_qbd, et_exact);
       const double err_sim = relative_error(et_qbd, et_sim);
       worst_exact_err = std::max(worst_exact_err, err_exact);
@@ -717,15 +763,16 @@ void print_tail_view(std::ostream& os, const Scenario& s,
   require(s.options.sim_tails, view,
           "options.sim_tails = true (tail percentiles)");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single (sim) solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single (sim) solver and no truncation/fit/size_dist axes");
 
   Table table({"mu_I", "rho", "policy", "mean E[T]", "inel P50", "inel P99",
                "el P50", "el P99"});
   for (std::size_t c = 0; c < s.cases.size(); ++c) {
     const CaseSpec& setting = s.cases[c];
     for (std::size_t p = 0; p < shape.npol; ++p) {
-      const RunResult& r = results[shape.at(c, 0, 0, p, 0)];
+      const RunResult& r = results[shape.at(c, 0, 0, 0, p, 0)];
       table.add_row({format_double(setting.mu_i), format_double(setting.rho),
                      make_policy(s.policies[p])->name(),
                      format_double(r.mean_response_time, 4),
@@ -746,7 +793,8 @@ void print_truncation_view(std::ostream& os, const Scenario& s,
           "a truncation axis with at least two levels (last = reference)");
   require(s.policies.size() == 1, view, "a single policy");
   const GridShape shape = shape_of(s);
-  require(shape.nfit == 1, view, "no fit axis");
+  require(shape.nfit == 1 && shape.ndist == 1, view,
+          "no fit/size_dist axes");
   const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
   const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
   const std::size_t last = s.trunc_values.size() - 1;
@@ -754,13 +802,13 @@ void print_truncation_view(std::ostream& os, const Scenario& s,
   for (std::size_t c = 0; c < s.cases.size(); ++c) {
     const double rho = s.cases[c].rho;
     const double reference =
-        results[shape.at(c, last, 0, 0, exact)].mean_response_time;
+        results[shape.at(c, last, 0, 0, 0, exact)].mean_response_time;
     const double et_qbd =
-        results[shape.at(c, 0, 0, 0, qbd)].mean_response_time;
+        results[shape.at(c, 0, 0, 0, 0, qbd)].mean_response_time;
     Table table({"truncation", "states", "E[T]", "rel err", "boundary mass",
                  "solve ms"});
     for (std::size_t t = 0; t < last; ++t) {
-      const RunResult& r = results[shape.at(c, t, 0, 0, exact)];
+      const RunResult& r = results[shape.at(c, t, 0, 0, 0, exact)];
       table.add_row(
           {std::to_string(s.trunc_values[t]), std::to_string(r.num_states),
            format_double(r.mean_response_time),
@@ -788,7 +836,8 @@ void print_fit_order_view(std::ostream& os, const Scenario& s,
   require(s.fit_orders == std::vector<int>({1, 2, 3}), view,
           "the fit_order axis [1, 2, 3]");
   const GridShape shape = shape_of(s);
-  require(shape.ntrunc == 1, view, "no truncation axis");
+  require(shape.ntrunc == 1 && shape.ndist == 1, view,
+          "no truncation/size_dist axes");
   const std::size_t qbd = solver_index(s, SolverKind::kQbdAnalysis, view);
   const std::size_t exact = solver_index(s, SolverKind::kExactCtmc, view);
 
@@ -801,13 +850,13 @@ void print_fit_order_view(std::ostream& os, const Scenario& s,
       // The exact chain ignores the fit order (one shared solve under the
       // canonical cache key); read it from the first fit cell.
       const double et_exact =
-          results[shape.at(c, 0, 0, p, exact)].mean_response_time;
+          results[shape.at(c, 0, 0, 0, p, exact)].mean_response_time;
       const double e1 = relative_error(
-          results[shape.at(c, 0, 0, p, qbd)].mean_response_time, et_exact);
+          results[shape.at(c, 0, 0, 0, p, qbd)].mean_response_time, et_exact);
       const double e2 = relative_error(
-          results[shape.at(c, 0, 1, p, qbd)].mean_response_time, et_exact);
+          results[shape.at(c, 0, 1, 0, p, qbd)].mean_response_time, et_exact);
       const double e3 = relative_error(
-          results[shape.at(c, 0, 2, p, qbd)].mean_response_time, et_exact);
+          results[shape.at(c, 0, 2, 0, p, qbd)].mean_response_time, et_exact);
       err1_acc.add(e1);
       err2_acc.add(e2);
       err3_acc.add(e3);
@@ -834,8 +883,9 @@ void print_dominance_view(std::ostream& os, const Scenario& s,
   const char* view = "dominance";
   require(!s.cases.empty(), view, "a cases-based scenario");
   const GridShape shape = shape_of(s);
-  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
-          "a single (trace) solver and no truncation/fit axes");
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1 &&
+              shape.ndist == 1,
+          view, "a single (trace) solver and no truncation/fit/size_dist axes");
   require(s.solvers.front() == SolverKind::kTraceDominance, view,
           "the 'trace' solver");
 
@@ -845,7 +895,7 @@ void print_dominance_view(std::ostream& os, const Scenario& s,
   for (std::size_t c = 0; c < s.cases.size(); ++c) {
     const CaseSpec& setting = s.cases[c];
     for (std::size_t p = 0; p < shape.npol; ++p) {
-      const RunResult& r = results[shape.at(c, 0, 0, p, 0)];
+      const RunResult& r = results[shape.at(c, 0, 0, 0, p, 0)];
       worst_violation = std::max(
           {worst_violation, r.dom_max_violation, r.dom_max_violation_i});
       table.add_row({format_double(setting.mu_i), format_double(setting.mu_e),
@@ -864,6 +914,61 @@ void print_dominance_view(std::ostream& os, const Scenario& s,
            worst_violation);
   osprintf(os, "avg W gap >= 0 everywhere: IF keeps the least work in "
                "system, as Theorem 3 proves.\n");
+}
+
+// --- scv: size-distribution (SCV) robustness sweep -----------------------
+
+void print_scv_view(std::ostream& os, const Scenario& s,
+                    const std::vector<RunResult>& results) {
+  const char* view = "scv";
+  require(!s.cases.empty(), view, "a cases-based scenario");
+  require(!s.size_dists.empty(), view,
+          "a size_dist axis (the SCV sweep dimension)");
+  const GridShape shape = shape_of(s);
+  require(shape.nsol == 1 && shape.ntrunc == 1 && shape.nfit == 1, view,
+          "a single solver and no truncation/fit axes");
+
+  std::size_t stable_cases = 0;
+  for (std::size_t c = 0; c < s.cases.size(); ++c) {
+    const CaseSpec& setting = s.cases[c];
+    std::vector<std::string> header = {"size_dist", "SCV"};
+    for (const auto& policy : s.policies) header.push_back("E[T] " + policy);
+    header.push_back("winner");
+    Table table(std::move(header));
+    std::size_t first_winner = 0;
+    bool winner_stable = true;
+    for (std::size_t d = 0; d < shape.ndist; ++d) {
+      std::vector<double> et;
+      et.reserve(shape.npol);
+      for (std::size_t p = 0; p < shape.npol; ++p) {
+        et.push_back(
+            results[shape.at(c, 0, 0, d, p, 0)].mean_response_time);
+      }
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < et.size(); ++p) {
+        if (et[p] < et[best]) best = p;
+      }
+      if (d == 0) first_winner = best;
+      if (best != first_winner) winner_stable = false;
+      std::vector<std::string> row = {
+          s.size_dists[d].canonical(),
+          format_double(s.size_dists[d].scv(), 4)};
+      for (const double value : et) row.push_back(format_double(value));
+      row.push_back(s.policies[best]);
+      table.add_row(std::move(row));
+    }
+    if (winner_stable) ++stable_cases;
+    osprintf(os, "\n--- k = %d, mu_I = %s, mu_E = %s, rho = %s ---\n",
+             setting.k, format_double(setting.mu_i).c_str(),
+             format_double(setting.mu_e).c_str(),
+             format_double(setting.rho).c_str());
+    table.print(os);
+  }
+  osprintf(os,
+           "\nwinner stable across the SCV axis in %zu/%zu settings — where "
+           "it is, the paper's Exp(mu) policy conclusions carry over to "
+           "that size distribution family.\n",
+           stable_cases, s.cases.size());
 }
 
 }  // namespace
@@ -888,6 +993,7 @@ void print_view(const std::string& view, std::ostream& os,
   if (view == "truncation") return print_truncation_view(os, scenario, results);
   if (view == "fit-order") return print_fit_order_view(os, scenario, results);
   if (view == "dominance") return print_dominance_view(os, scenario, results);
+  if (view == "scv") return print_scv_view(os, scenario, results);
   std::string all;
   for (const auto& name : report_view_names()) {
     if (!all.empty()) all += ", ";
@@ -899,7 +1005,8 @@ void print_view(const std::string& view, std::ostream& os,
 
 std::vector<std::string> report_view_names() {
   return {"table",  "heatmap",    "vs-mu",     "vs-k",      "family",
-          "accuracy", "tail", "truncation", "fit-order", "dominance"};
+          "accuracy", "tail", "truncation", "fit-order", "dominance",
+          "scv"};
 }
 
 }  // namespace esched

@@ -9,12 +9,19 @@
 #include <fstream>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "engine/sweep_runner.hpp"
 
 namespace esched {
+
+/// True when any point carries a non-exponential size distribution, in
+/// which case the report schema appends size_dist_i/size_dist_e columns
+/// (canonical spec strings). Exponential-only reports keep the exact
+/// pre-refactor schema, so every existing golden stays byte-identical.
+bool report_has_size_dists(const std::vector<RunPoint>& points);
 
 /// The uniform CSV report schema (one row per RunPoint, input order) is
 /// fully deterministic: volatile per-invocation facts — wall time and
@@ -23,9 +30,16 @@ namespace esched {
 /// unsharded report byte-for-byte and an interrupted streaming run resume
 /// byte-identically. Every CSV report ends in a summary trailer ("# "
 /// comment lines) recomputed from the row text alone (see CsvSummary).
+///
+/// `with_size_dist` selects the size-dist schema; nullopt derives it from
+/// `points` via report_has_size_dists. When writing a shard SLICE of a
+/// larger sweep, pass report_has_size_dists of the FULL sweep instead —
+/// deriving from the slice would let shards of a mixed exp/non-exp
+/// size_dist sweep disagree on the header and `esched merge` refuse them.
 void write_csv_report(const std::string& path,
                       const std::vector<RunPoint>& points,
-                      const std::vector<RunResult>& results);
+                      const std::vector<RunResult>& results,
+                      std::optional<bool> with_size_dist = std::nullopt);
 
 /// The deterministic summary trailer of a CSV report: row count plus
 /// mean/min/max of the "et" column when the header has one. Accumulates
@@ -68,7 +82,12 @@ class StreamingCsvReport {
   /// true scans an existing file first (throws esched::Error when its
   /// header is complete but does not match the report schema; a file
   /// torn before even the header finished restarts fresh).
-  StreamingCsvReport(const std::string& path, bool resume);
+  /// `with_size_dist` selects the extended schema with size_dist columns;
+  /// a streaming caller must pass what report_has_size_dists would say of
+  /// the sweep's points (the CLI derives it from the loaded scenarios) so
+  /// streamed files stay byte-identical to batch-written ones.
+  StreamingCsvReport(const std::string& path, bool resume,
+                     bool with_size_dist = false);
 
   /// Hands over the result of input index `index`; writes it (and any
   /// buffered successors) once all earlier rows are on disk. An index
@@ -99,6 +118,7 @@ class StreamingCsvReport {
   void open_for_append();
 
   std::string path_;
+  bool with_size_dist_ = false;
   std::ofstream out_;
   CsvSummary summary_;
   std::size_t truncate_at_ = 0;  ///< clean-prefix byte length on resume
@@ -131,10 +151,12 @@ MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
                              const std::string& out_path);
 
 /// Same rows as a JSON document: {"points": [...], "stats": {...}?}.
+/// `with_size_dist` as in write_csv_report.
 void write_json_report(const std::string& path,
                        const std::vector<RunPoint>& points,
                        const std::vector<RunResult>& results,
-                       const SweepStats* stats = nullptr);
+                       const SweepStats* stats = nullptr,
+                       std::optional<bool> with_size_dist = std::nullopt);
 
 /// Prints the sweep to `os` as an aligned table (capped at `max_rows` data
 /// rows, with an ellipsis note when truncated) followed by a stats line.
@@ -179,6 +201,7 @@ struct ViewOptions {
 ///   truncation — truncation-level ablation vs deep reference + QBD
 ///   fit-order  — busy-period fit-order ablation vs the exact chain
 ///   dominance  — Thm. 3 pointwise work-dominance violations and gaps
+///   scv        — per-case E[T] along the size_dist axis (SCV robustness)
 /// Throws esched::Error when the scenario lacks the axes a view needs
 /// (the message names the requirement) or the view name is unknown.
 void print_view(const std::string& view, std::ostream& os,

@@ -63,6 +63,24 @@ std::string key_double(double value) {
 
 }  // namespace
 
+void RunOptions::validate() const {
+  ESCHED_CHECK(truncation_epsilon > 0.0 && truncation_epsilon < 1.0,
+               "options.truncation_epsilon must be in (0,1)");
+  ESCHED_CHECK(imax >= 0 && jmax >= 0,
+               "options.imax/jmax must be >= 0 (0 = derive from rho)");
+  ESCHED_CHECK(sim_jobs > 0, "options.sim_jobs must be positive");
+  ESCHED_CHECK(sim_jobs > sim_warmup,
+               "options.sim_jobs (" + std::to_string(sim_jobs) +
+                   ") must exceed options.sim_warmup (" +
+                   std::to_string(sim_warmup) +
+                   "); a sweep that is mostly warmup measures noise");
+  ESCHED_CHECK(sim_tail_span > 0.0, "options.sim_tail_span must be > 0");
+  ESCHED_CHECK(sim_tail_bins > 0, "options.sim_tail_bins must be > 0");
+  ESCHED_CHECK(trace_horizon > 0.0, "options.trace_horizon must be > 0");
+  const int fit = static_cast<int>(fit_order);
+  ESCHED_CHECK(fit >= 1 && fit <= 3, "options.fit_order must be 1, 2, or 3");
+}
+
 std::string RunPoint::cache_key() const {
   std::string key;
   key.reserve(160);
@@ -102,6 +120,19 @@ std::string RunPoint::cache_key() const {
       key += ";tseed=" + std::to_string(options.trace_seed);
       break;
   }
+  // Size distributions are part of every point's identity — also for the
+  // solvers that *reject* non-exponential specs: a qbd point with a
+  // non-exp size must not collide with its exponential twin, or the sweep
+  // runner's memo/disk cache would hand back the exponential result on a
+  // row labelled otherwise instead of the rejection error. Only
+  // non-exponential specs appear, so every pre-refactor key — and the
+  // disk-cache entries stored under it — stays byte-identical.
+  if (!options.size_dist_i.is_exponential()) {
+    key += ";sdi=" + options.size_dist_i.canonical();
+  }
+  if (!options.size_dist_e.is_exponential()) {
+    key += ";sde=" + options.size_dist_e.canonical();
+  }
   return key;
 }
 
@@ -120,7 +151,9 @@ std::size_t Scenario::num_points() const {
                     : cases.size();
   const std::size_t truncs = trunc_values.empty() ? 1 : trunc_values.size();
   const std::size_t fits = fit_orders.empty() ? 1 : fit_orders.size();
-  return param_cells * truncs * fits * policies.size() * solvers.size();
+  const std::size_t dists = size_dists.empty() ? 1 : size_dists.size();
+  return param_cells * truncs * fits * dists * policies.size() *
+         solvers.size();
 }
 
 void Scenario::validate() const {
@@ -140,6 +173,11 @@ void Scenario::validate() const {
   for (const int fit : fit_orders) {
     ESCHED_CHECK(fit >= 1 && fit <= 3,
                  "scenario '" + name + "': fit_order must be 1, 2, or 3");
+  }
+  try {
+    options.validate();
+  } catch (const Error& e) {
+    throw Error("scenario '" + name + "': " + e.what());
   }
   if (!cases.empty()) {
     for (const CaseSpec& c : cases) {
@@ -202,18 +240,29 @@ std::vector<RunPoint> Scenario::expand() const {
       trunc_values.empty() ? std::vector<long>{0} : trunc_values;
   const std::vector<int> fits =
       fit_orders.empty() ? std::vector<int>{0} : fit_orders;
+  // An empty size_dist axis must not touch the options (they may carry
+  // explicit per-class specs), so the sentinel is "no assignment".
+  const std::size_t ndists = size_dists.empty() ? 1 : size_dists.size();
 
   std::vector<RunPoint> points;
   points.reserve(num_points());
   for (const SystemParams& p : cells) {
     for (const long trunc : truncs) {
       for (const int fit : fits) {
-        RunOptions point_options = options;
-        if (trunc > 0) point_options.imax = point_options.jmax = trunc;
-        if (fit > 0) point_options.fit_order = static_cast<BusyFitOrder>(fit);
-        for (const auto& policy : policies) {
-          for (const SolverKind solver : solvers) {
-            points.push_back(RunPoint{p, policy, solver, point_options});
+        for (std::size_t dist = 0; dist < ndists; ++dist) {
+          RunOptions point_options = options;
+          if (trunc > 0) point_options.imax = point_options.jmax = trunc;
+          if (fit > 0) {
+            point_options.fit_order = static_cast<BusyFitOrder>(fit);
+          }
+          if (!size_dists.empty()) {
+            point_options.size_dist_i = size_dists[dist];
+            point_options.size_dist_e = size_dists[dist];
+          }
+          for (const auto& policy : policies) {
+            for (const SolverKind solver : solvers) {
+              points.push_back(RunPoint{p, policy, solver, point_options});
+            }
           }
         }
       }

@@ -19,6 +19,7 @@
 #include "core/params.hpp"
 #include "core/policy.hpp"
 #include "core/response_time.hpp"
+#include "phase/size_dist.hpp"
 
 namespace esched {
 
@@ -74,6 +75,22 @@ struct RunOptions {
   /// sequence is generated on [0, trace_horizon] from trace_seed.
   double trace_horizon = 1500.0;
   std::uint64_t trace_seed = 2026;
+  /// Job-size distributions per class (default: the paper's Exp(mu_c)).
+  /// Shapes only — each compiles to a PhaseType scaled to the class mean
+  /// 1/mu_c, so variability changes at fixed load. The sim backend accepts
+  /// both; exact accepts a phase-type *inelastic* size (state
+  /// augmentation) but only exponential elastic sizes; qbd/mmk/trace
+  /// require both exponential and reject others with an error naming the
+  /// option. Exponential specs keep the pre-refactor cache keys
+  /// byte-identical and the closed-form sampling paths.
+  SizeDistSpec size_dist_i;
+  SizeDistSpec size_dist_e;
+
+  /// Throws esched::Error when a numeric knob is degenerate (sim_jobs not
+  /// exceeding sim_warmup, non-positive trace_horizon / tail histogram
+  /// shape, truncation_epsilon outside (0,1), ...). Scenario::validate()
+  /// calls this, so bad options fail loudly before a sweep runs.
+  void validate() const;
 };
 
 /// One concrete (params, policy, solver) cell of a sweep.
@@ -108,8 +125,9 @@ struct CaseSpec {
 
 /// Declarative sweep spec: expand() emits the cross product of the axes in
 /// row-major order (k, rho, mu_i, mu_e, elastic_cap, truncation,
-/// fit_order, policy, solver), with `cases` — when non-empty — replacing
-/// the first five parameter axes by its explicit settings list. Arrival
+/// fit_order, size_dist, policy, solver), with `cases` — when non-empty —
+/// replacing the first five parameter axes by its explicit settings list.
+/// Arrival
 /// rates are split equally (lambda_I = lambda_E), the convention of the
 /// paper's figures, via SystemParams::from_load.
 struct Scenario {
@@ -128,6 +146,11 @@ struct Scenario {
   /// Optional busy-period fit-order axis (values 1..3); empty means "no
   /// axis" (use options.fit_order).
   std::vector<int> fit_orders;
+  /// Optional job-size-distribution axis: each value sets BOTH classes'
+  /// size distributions per point (the robustness-sweep shape — vary
+  /// variability at fixed load). Empty means "no axis" (use
+  /// options.size_dist_i / size_dist_e).
+  std::vector<SizeDistSpec> size_dists;
   std::vector<std::string> policies{"IF", "EF"};
   std::vector<SolverKind> solvers{SolverKind::kQbdAnalysis};
   RunOptions options;

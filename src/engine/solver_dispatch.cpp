@@ -24,7 +24,23 @@ double seconds_since(const Clock::time_point& start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Solvers built on the Exp(mu) model reject non-exponential size specs,
+/// naming the offending option so a spec author knows what to change.
+void require_exponential_sizes(const RunPoint& point, const char* solver) {
+  const auto reject = [&](const char* option, const SizeDistSpec& spec) {
+    if (spec.is_exponential()) return;
+    throw Error(std::string("solver '") + solver +
+                "' supports only exponential job sizes, but option '" +
+                option + "' is '" + spec.canonical() +
+                "'; use solver 'sim' (any distribution) or 'exact' "
+                "(phase-type inelastic sizes)");
+  };
+  reject("size_dist_i", point.options.size_dist_i);
+  reject("size_dist_e", point.options.size_dist_e);
+}
+
 RunResult run_qbd_analysis(const RunPoint& point) {
+  require_exponential_sizes(point, "qbd");
   ESCHED_CHECK(point.params.elastic_cap == 0,
                "the QBD analyses cover only the base model (elastic_cap 0)");
   ResponseTimeAnalysis analysis;
@@ -73,7 +89,23 @@ RunResult exact_to_run_result(const ExactCtmcResult& exact) {
 }
 
 RunResult run_exact_ctmc(const RunPoint& point) {
+  // Elastic sizes must stay exponential: the elastic class's aggregate
+  // service rate relies on memorylessness. Inelastic sizes may be any
+  // (small) phase type via the augmented chain.
+  if (!point.options.size_dist_e.is_exponential()) {
+    throw Error("solver 'exact' supports phase-type sizes for the "
+                "inelastic class only, but option 'size_dist_e' is '" +
+                point.options.size_dist_e.canonical() +
+                "'; use solver 'sim' for non-exponential elastic sizes");
+  }
   const auto policy = make_policy(point.policy);
+  if (!point.options.size_dist_i.is_exponential()) {
+    const PhaseType dist =
+        point.options.size_dist_i.compile(point.params.mu_i);
+    const ExactCtmcResult exact = solve_exact_ctmc_ph(
+        point.params, *policy, dist, resolve_exact_options(point));
+    return exact_to_run_result(exact);
+  }
   const ExactCtmcResult exact =
       solve_exact_ctmc(point.params, *policy, resolve_exact_options(point));
   return exact_to_run_result(exact);
@@ -87,6 +119,19 @@ RunResult run_simulation(const RunPoint& point) {
   // seeding keeps distinct points on independent streams.
   options.seed = point.options.sim_raw_seed ? point.options.base_seed
                                             : point.seed();
+  // Exponential specs keep size_dist_* null so the simulator's closed-form
+  // sampling path — and therefore its RNG stream — is bitwise identical to
+  // the pre-refactor behavior.
+  std::optional<PhaseType> dist_i;
+  std::optional<PhaseType> dist_e;
+  if (!point.options.size_dist_i.is_exponential()) {
+    dist_i.emplace(point.options.size_dist_i.compile(point.params.mu_i));
+    options.size_dist_i = &*dist_i;
+  }
+  if (!point.options.size_dist_e.is_exponential()) {
+    dist_e.emplace(point.options.size_dist_e.compile(point.params.mu_e));
+    options.size_dist_e = &*dist_e;
+  }
   std::optional<Histogram> hist_i;
   std::optional<Histogram> hist_e;
   if (point.options.sim_tails) {
@@ -122,6 +167,7 @@ RunResult run_simulation(const RunPoint& point) {
 /// service rate k mu_E (every elastic job can take all servers). A lower
 /// bound useful for sanity-checking the shared-cluster policies.
 RunResult run_mmk_baseline(const RunPoint& point) {
+  require_exponential_sizes(point, "mmk");
   const SystemParams& p = point.params;
   ESCHED_CHECK(p.elastic_cap == 0,
                "the M/M/k baseline assumes fully elastic jobs");
@@ -149,6 +195,7 @@ RunResult run_mmk_baseline(const RunPoint& point) {
 /// (params, trace_horizon, trace_seed), so every policy of a sweep is
 /// coupled to the same arrival sequence — the theorem's setting.
 RunResult run_trace_dominance(const RunPoint& point) {
+  require_exponential_sizes(point, "trace");
   // Uniform sampling grid for the average gap W_pi(t) - W_IF(t).
   constexpr int kGapSamples = 4000;
   const Trace trace = generate_trace(point.params,
@@ -194,6 +241,12 @@ RunResult dispatch_run(const RunPoint& point) {
 
 std::string exact_topology_key(const RunPoint& point) {
   if (point.solver != SolverKind::kExactCtmc) return {};
+  // The augmented phase-type chain's reachable state space depends on the
+  // policy, so those points cannot share a skeleton — solve them solo.
+  if (!point.options.size_dist_i.is_exponential() ||
+      !point.options.size_dist_e.is_exponential()) {
+    return {};
+  }
   // The cache key minus the policy field: exactly the inputs that shape
   // the chain topology (params + resolved truncation).
   RunPoint keyed = point;

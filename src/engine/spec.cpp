@@ -99,7 +99,7 @@ void parse_axes(const JsonValue& axes, Scenario& scenario) {
   const std::string where = "axes";
   check_known_keys(axes, where,
                    {"k", "rho", "mu_i", "mu_e", "elastic_cap", "truncation",
-                    "fit_order", "policy", "solver"});
+                    "fit_order", "size_dist", "policy", "solver"});
   if (const JsonValue* v = axes.find("k")) {
     scenario.k_values = to_int_axis(parse_numeric_axis(*v, "axes.k"),
                                     "axes.k", 1, 1000000);
@@ -129,6 +129,17 @@ void parse_axes(const JsonValue& axes, Scenario& scenario) {
   if (const JsonValue* v = axes.find("fit_order")) {
     scenario.fit_orders = to_int_axis(
         parse_numeric_axis(*v, "axes.fit_order"), "axes.fit_order", 1, 3);
+  }
+  if (const JsonValue* v = axes.find("size_dist")) {
+    const auto names = parse_string_axis(*v, "axes.size_dist");
+    scenario.size_dists.clear();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+      try {
+        scenario.size_dists.push_back(SizeDistSpec::parse(names[n]));
+      } catch (const Error& e) {
+        throw Error("axes.size_dist[" + std::to_string(n) + "]: " + e.what());
+      }
+    }
   }
   if (const JsonValue* v = axes.find("policy")) {
     scenario.policies = parse_string_axis(*v, "axes.policy");
@@ -186,7 +197,8 @@ void parse_options(const JsonValue& json_options, RunOptions& options) {
                    {"fit_order", "truncation_epsilon", "imax", "jmax",
                     "sim_jobs", "sim_warmup", "base_seed", "sim_raw_seed",
                     "sim_tails", "sim_tail_span", "sim_tail_bins",
-                    "trace_horizon", "trace_seed"});
+                    "trace_horizon", "trace_seed", "size_dist_i",
+                    "size_dist_e"});
   if (const JsonValue* v = json_options.find("fit_order")) {
     options.fit_order = static_cast<BusyFitOrder>(
         v->as_integer("options.fit_order", 1, 3));
@@ -239,6 +251,18 @@ void parse_options(const JsonValue& json_options, RunOptions& options) {
     options.trace_seed = static_cast<std::uint64_t>(
         v->as_integer("options.trace_seed", 0, 4000000000LL));
   }
+  const auto parse_size_dist = [&](const char* key, SizeDistSpec* out) {
+    const JsonValue* v = json_options.find(key);
+    if (v == nullptr) return;
+    const std::string text = v->as_string("options." + std::string(key));
+    try {
+      *out = SizeDistSpec::parse(text);
+    } catch (const Error& e) {
+      throw Error("options." + std::string(key) + ": " + e.what());
+    }
+  };
+  parse_size_dist("size_dist_i", &options.size_dist_i);
+  parse_size_dist("size_dist_e", &options.size_dist_e);
 }
 
 }  // namespace
@@ -358,6 +382,13 @@ JsonValue scenario_to_json(const Scenario& scenario) {
   if (!scenario.fit_orders.empty()) {
     axes.set("fit_order", number_array(scenario.fit_orders));
   }
+  if (!scenario.size_dists.empty()) {
+    JsonValue dists = JsonValue::make_array();
+    for (const SizeDistSpec& spec : scenario.size_dists) {
+      dists.push_back(JsonValue::make_string(spec.canonical()));
+    }
+    axes.set("size_dist", std::move(dists));
+  }
   axes.set("policy", string_array(scenario.policies));
   JsonValue solver_names = JsonValue::make_array();
   for (const SolverKind solver : scenario.solvers) {
@@ -388,6 +419,16 @@ JsonValue scenario_to_json(const Scenario& scenario) {
   options.set("trace_horizon", JsonValue::make_number(o.trace_horizon));
   options.set("trace_seed",
               JsonValue::make_number(static_cast<double>(o.trace_seed)));
+  // Canonical forms, emitted only when non-default so pre-refactor specs
+  // print byte-identically.
+  if (!o.size_dist_i.is_exponential()) {
+    options.set("size_dist_i",
+                JsonValue::make_string(o.size_dist_i.canonical()));
+  }
+  if (!o.size_dist_e.is_exponential()) {
+    options.set("size_dist_e",
+                JsonValue::make_string(o.size_dist_e.canonical()));
+  }
   root.set("options", std::move(options));
   return root;
 }
@@ -552,6 +593,22 @@ constexpr BuiltinSpec kBuiltinSpecs[] = {
         "solver": ["qbd", "exact"]
       },
       "options": {"truncation_epsilon": 1e-9}
+    })json"},
+    {"sensitivity-scv", R"json({
+      "name": "sensitivity-scv",
+      "description": "S6 robustness: E[T] under IF vs EF as the job-size SCV sweeps {0.25, 1, 4, 16} (lognormal moment surrogates, both classes), probing the paper's Exp(mu) size assumption",
+      "view": "scv",
+      "cases": [
+        {"k": 4, "mu_i": 1, "mu_e": 1, "rho": 0.7},
+        {"k": 4, "mu_i": 3.25, "mu_e": 1, "rho": 0.7}
+      ],
+      "axes": {
+        "size_dist": ["lognormal:0.25", "lognormal:1", "lognormal:4",
+                      "lognormal:16"],
+        "policy": ["IF", "EF"],
+        "solver": ["sim"]
+      },
+      "options": {"sim_jobs": 400000, "sim_warmup": 40000}
     })json"},
     {"dominance-thm3", R"json({
       "name": "dominance-thm3",

@@ -26,6 +26,19 @@ double m3_lower_bound(const Moments3& m) {
   return 1.5 * m.m2 * m.m2 / m.m1;
 }
 
+/// True on the SCV == 1 boundary of the Coxian-2 region, where the family
+/// degenerates: the only matchable point there is the exponential. Shared
+/// by fit_coxian2 (which requires exponential_m3 there) and fit_moments3
+/// (which falls back before calling it) so the two can never desync.
+bool scv1_boundary(const Moments3& m) {
+  return m.m2 <= 2.0 * m.m1 * m.m1 * (1.0 + 1e-9);
+}
+
+/// True when m3 is (numerically) the exponential's 6 m1^3.
+bool exponential_m3(const Moments3& m) {
+  return approx_equal(m.m3, 6.0 * m.m1 * m.m1 * m.m1, 1e-6);
+}
+
 }  // namespace
 
 bool coxian2_feasible(const Moments3& m) {
@@ -47,8 +60,8 @@ Coxian2Params fit_coxian2(const Moments3& moments) {
   // Degenerate boundary SCV == 1: the only Coxian-2-matchable point there
   // is the exponential (m3 == 6 m1^3). Handle it before the root search —
   // the bracket endpoint x -> m1 becomes 0/0 in this case.
-  if (m.m2 <= 2.0 * m.m1 * m.m1 * (1.0 + 1e-9)) {
-    ESCHED_CHECK(approx_equal(m.m3, 6.0 * m.m1 * m.m1 * m.m1, 1e-6),
+  if (scv1_boundary(m)) {
+    ESCHED_CHECK(exponential_m3(m),
                  "SCV == 1 moments are Coxian-2-matchable only at the "
                  "exponential point");
     return {1.0 / m.m1, 1.0 / m.m1, 0.0};
@@ -105,7 +118,17 @@ Coxian2Params fit_coxian2(const Moments3& moments) {
 
 PhaseType fit_moments3(const Moments3& m) {
   check_raw_moments(m);
-  if (coxian2_feasible(m)) return fit_coxian2(m).to_phase_type();
+  if (coxian2_feasible(m)) {
+    // The SCV == 1 boundary of the Coxian-2 region contains only the
+    // exponential: an off-exponential third moment there (e.g. the
+    // lognormal with SCV 1, m3 = 8 m1^3) is unmatchable by the family, so
+    // fall back to the exponential — m1 and m2 exact, m3 as close as a
+    // one-parameter family gets.
+    if (!scv1_boundary(m) || exponential_m3(m)) {
+      return fit_coxian2(m).to_phase_type();
+    }
+    return PhaseType::exponential(1.0 / m.m1);
+  }
 
   // SCV < 1: mixed-Erlang two-moment fit (Tijms). Pick n with
   // 1/n <= scv < 1/(n-1); the result is Erlang(n-1) w.p. q, Erlang(n)

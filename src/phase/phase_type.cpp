@@ -142,6 +142,14 @@ double PhaseType::sample(Xoshiro256& rng) const {
   }
 }
 
+PhaseType PhaseType::scaled_by(double time_scale) const {
+  ESCHED_CHECK(time_scale > 0.0 && is_finite(time_scale),
+               "time scale must be positive and finite");
+  Matrix t = t_;
+  t *= 1.0 / time_scale;
+  return PhaseType(alpha_, std::move(t));
+}
+
 PhaseType PhaseType::exponential(double rate) {
   ESCHED_CHECK(rate > 0.0, "rate must be positive");
   Matrix t(1, 1);

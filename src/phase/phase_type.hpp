@@ -48,6 +48,12 @@ class PhaseType {
   /// Draws one sample by simulating the phase process.
   double sample(Xoshiro256& rng) const;
 
+  /// The distribution of `time_scale * X` (same alpha, sub-generator
+  /// T / time_scale): every moment of order n scales by time_scale^n and
+  /// the SCV is preserved. This is how a unit-mean shape is rescaled to a
+  /// class's mean job size (see phase/size_dist).
+  PhaseType scaled_by(double time_scale) const;
+
   // ---- Named constructors -------------------------------------------------
 
   /// Exponential with the given rate.

@@ -1,0 +1,92 @@
+// First-class job-size distributions.
+//
+// The paper's model assumes Exp(mu) job sizes; §6 flags sensitivity to
+// that assumption as the open question. SizeDistSpec makes the size
+// distribution *data*: a small value type parsed from a canonical string
+// form ("exp", "erlang:3", "hyperexp:0.5,2,0.5", ...) that scenario specs
+// can set per class or sweep as an axis, and that compiles down to the
+// PhaseType the simulator and the augmented exact chain consume.
+//
+// Scaling convention: a spec describes only the *shape* of the
+// distribution (its SCV and higher normalized moments). compile(mu)
+// rescales it so the mean is exactly 1/mu — the class mean the model's
+// mu_I/mu_E parameters already define — so sweeping a size_dist axis
+// changes variability at fixed load, never the load itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phase/phase_type.hpp"
+
+namespace esched {
+
+/// Supported distribution families (see size_dist_families() for the
+/// parameter syntax of each).
+enum class SizeDistFamily {
+  kExp,        ///< exponential — the paper's model; the default
+  kErlang,     ///< erlang:n — n sequential stages, SCV = 1/n
+  kHyperExp,   ///< hyperexp:p,r1,r2 — Exp(r1) w.p. p else Exp(r2), SCV >= 1
+  kCoxian2,    ///< coxian2:nu1,nu2,p — two-phase Coxian
+  kPhFit,      ///< ph-fit:m1,m2,m3 — three-moment fit (phase/fit.hpp)
+  kDet,        ///< det — near-deterministic (Erlang-64 surrogate, SCV 1/64)
+  kLognormal,  ///< lognormal:scv — lognormal moment surrogate via ph-fit
+  kPareto,     ///< pareto:alpha — Pareto(alpha > 3) moment surrogate
+};
+
+/// A job-size distribution spec: family + parameters, with a canonical
+/// string form that is stable under reparsing (parse(canonical()) == *this)
+/// and is what cache keys, CSV columns, and `esched show` print. Specs are
+/// validated at parse time (every family trial-compiles), so a constructed
+/// SizeDistSpec always compiles.
+class SizeDistSpec {
+ public:
+  /// The default: exponential, canonical form "exp".
+  SizeDistSpec() = default;
+
+  /// Parses "family" or "family:arg1,arg2,...". Throws esched::Error with
+  /// a message naming the family and its expected syntax on any malformed
+  /// or out-of-range input. Normalizes aliases that are exactly
+  /// exponential (erlang:1) to "exp" so they keep the exponential fast
+  /// path and cache keys.
+  static SizeDistSpec parse(const std::string& text);
+
+  SizeDistFamily family() const { return family_; }
+  const std::string& canonical() const { return canonical_; }
+
+  /// True for the "exp" spec: callers use the closed-form exponential
+  /// paths (and the pre-refactor cache keys) instead of compiling a
+  /// one-phase PhaseType.
+  bool is_exponential() const { return family_ == SizeDistFamily::kExp; }
+
+  /// Squared coefficient of variation of the shape (scale-free).
+  double scv() const;
+
+  /// Compiles the spec into a PhaseType whose mean is exactly 1/mu.
+  PhaseType compile(double mu) const;
+
+  friend bool operator==(const SizeDistSpec& a, const SizeDistSpec& b) {
+    return a.canonical_ == b.canonical_;
+  }
+  friend bool operator!=(const SizeDistSpec& a, const SizeDistSpec& b) {
+    return !(a == b);
+  }
+
+ private:
+  SizeDistFamily family_ = SizeDistFamily::kExp;
+  std::vector<double> args_;
+  std::string canonical_ = "exp";
+};
+
+/// One row of `esched dists`: family name, parameter syntax, and a
+/// one-line summary.
+struct SizeDistFamilyInfo {
+  const char* name;
+  const char* syntax;
+  const char* summary;
+};
+
+/// The supported families in display order.
+const std::vector<SizeDistFamilyInfo>& size_dist_families();
+
+}  // namespace esched

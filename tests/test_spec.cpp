@@ -176,6 +176,10 @@ TEST(Spec, NonNumericAxisValuesAreNamedWithIndex) {
       parse_scenario_text(R"({"axes": {"policy": ["IF", "Bogus"]}})", "t"),
       "axes.policy[1]");
   EXPECT_THROWS_NAMING(
+      parse_scenario_text(
+          R"({"axes": {"size_dist": ["exp", "erlang:-2"]}})", "t"),
+      "axes.size_dist[1]");
+  EXPECT_THROWS_NAMING(
       parse_scenario_text(R"({"axes": {"solver": ["qbd", "fancy"]}})", "t"),
       "axes.solver[1]");
 }

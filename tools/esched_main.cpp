@@ -35,6 +35,7 @@
 #include "engine/scenario.hpp"
 #include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
+#include "phase/size_dist.hpp"
 
 namespace {
 
@@ -43,6 +44,7 @@ void print_usage() {
       "usage: esched [run] <scenario-or-spec.json>... [options]\n"
       "       esched list\n"
       "       esched show <scenario>\n"
+      "       esched dists\n"
       "       esched merge <shard.csv>... --out merged.csv\n"
       "       esched cache ls --cache-dir D\n"
       "       esched cache gc --cache-dir D [--max-age S] [--max-bytes B]\n"
@@ -75,6 +77,22 @@ void print_usage() {
       "  --max-age S     gc: evict entries older than S seconds\n"
       "  --max-bytes B   gc: then evict oldest until the directory holds\n"
       "                  at most B bytes\n");
+}
+
+/// `esched dists`: the supported size-distribution families.
+void print_size_dists() {
+  std::printf(
+      "size distribution families (options.size_dist_i/size_dist_e and the\n"
+      "axes.size_dist sweep axis; each scales to the class mean 1/mu_c, so\n"
+      "sweeping a distribution changes variability at fixed load):\n\n");
+  for (const auto& info : esched::size_dist_families()) {
+    std::printf("  %-20s %s\n", info.syntax, info.summary);
+  }
+  std::printf(
+      "\nbackends: sim accepts any family for either class; exact accepts\n"
+      "phase-type *inelastic* sizes (<= 16 phases, state augmentation) and\n"
+      "exponential elastic sizes; qbd/mmk/trace require exponential sizes\n"
+      "and reject other specs with an error naming the option.\n");
 }
 
 void print_scenarios() {
@@ -243,6 +261,9 @@ int main(int argc, char** argv) {
       } else if (arg == "list" && scenario_args.empty() && !show_spec) {
         print_scenarios();
         return 0;
+      } else if (arg == "dists" && scenario_args.empty() && !show_spec) {
+        print_size_dists();
+        return 0;
       } else if (arg == "run" && scenario_args.empty() && !show_spec) {
         // explicit subcommand; scenario args follow
       } else if (arg == "show" && scenario_args.empty()) {
@@ -303,6 +324,30 @@ int main(int argc, char** argv) {
 
     esched::SweepRunner runner(threads);
     if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
+    // Load (and expand) every scenario before any output: a typo'd second
+    // spec must not leave a half-written report, and the report schema —
+    // whether size_dist columns appear — must derive from the FULL
+    // expanded sweeps, never from a shard slice, so every shard of one
+    // command line shares one header and `esched merge` accepts them.
+    std::vector<esched::Scenario> scenarios;
+    std::vector<std::vector<esched::RunPoint>> full_grids;
+    scenarios.reserve(scenario_args.size());
+    full_grids.reserve(scenario_args.size());
+    for (const auto& arg : scenario_args) {
+      esched::Scenario scenario = looks_like_spec_path(arg)
+                                      ? esched::load_scenario_file(arg)
+                                      : esched::builtin_scenario(arg);
+      if (seed_set) scenario.options.base_seed = seed;
+      if (sim_jobs > 0) scenario.options.sim_jobs = sim_jobs;
+      full_grids.push_back(scenario.expand());  // validates, incl. options
+      scenarios.push_back(std::move(scenario));
+    }
+    std::vector<bool> scenario_size_dist;
+    bool with_size_dist = false;
+    for (const auto& grid : full_grids) {
+      scenario_size_dist.push_back(esched::report_has_size_dists(grid));
+      if (scenario_size_dist.back()) with_size_dist = true;
+    }
     // --out/--json collect every scenario into ONE combined report (the
     // schema is uniform across solvers); without --out each scenario
     // writes its own <name>.csv. With --stream, rows go to --out the
@@ -311,7 +356,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<esched::StreamingCsvReport> stream_report;
     if (stream) {
       stream_report = std::make_unique<esched::StreamingCsvReport>(
-          out_path, /*resume=*/true);
+          out_path, /*resume=*/true, with_size_dist);
       if (stream_report->rows_resumed() > 0) {
         std::printf("resuming %s: %zu complete rows kept\n", out_path.c_str(),
                     stream_report->rows_resumed());
@@ -322,16 +367,11 @@ int main(int argc, char** argv) {
     std::vector<esched::RunResult> all_results;
     esched::SweepStats combined;
     combined.threads_used = runner.num_threads();
-    for (const auto& arg : scenario_args) {
-      esched::Scenario scenario = looks_like_spec_path(arg)
-                                      ? esched::load_scenario_file(arg)
-                                      : esched::builtin_scenario(arg);
-      if (seed_set) scenario.options.base_seed = seed;
-      if (sim_jobs > 0) scenario.options.sim_jobs = sim_jobs;
-
+    for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+      const esched::Scenario& scenario = scenarios[sc];
       std::printf("=== scenario %s: %s ===\n", scenario.name.c_str(),
                   scenario.description.c_str());
-      auto points = scenario.expand();
+      auto points = std::move(full_grids[sc]);
       if (shard_count > 1) {
         // Contiguous row-order split: `esched merge` of the shard CSVs in
         // shard order reproduces the unsharded report row for row.
@@ -372,8 +412,11 @@ int main(int argc, char** argv) {
       }
 
       if (out_path.empty()) {
+        // Schema from this scenario's FULL grid, so every shard of one
+        // scenario emits the same header however its slice falls.
         const std::string csv_path = scenario.name + ".csv";
-        esched::write_csv_report(csv_path, points, results);
+        esched::write_csv_report(csv_path, points, results,
+                                 scenario_size_dist[sc]);
         std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), points.size());
       }
       if (!out_path.empty() || !json_path.empty()) {
@@ -394,14 +437,15 @@ int main(int argc, char** argv) {
                   stream_report->rows_resumed(), scenario_args.size(),
                   scenario_args.size() == 1 ? "" : "s");
     } else if (!out_path.empty()) {
-      esched::write_csv_report(out_path, all_points, all_results);
+      esched::write_csv_report(out_path, all_points, all_results,
+                               with_size_dist);
       std::printf("wrote %s (%zu rows, %zu scenario%s)\n", out_path.c_str(),
                   all_points.size(), scenario_args.size(),
                   scenario_args.size() == 1 ? "" : "s");
     }
     if (!json_path.empty()) {
       esched::write_json_report(json_path, all_points, all_results,
-                                &combined);
+                                &combined, with_size_dist);
       std::printf("wrote %s (%zu rows, %zu scenario%s)\n", json_path.c_str(),
                   all_points.size(), scenario_args.size(),
                   scenario_args.size() == 1 ? "" : "s");
