@@ -6,12 +6,18 @@
 //    baseline this library also ships).
 //  - Job-level and state-level simulator throughput.
 //  - Coxian busy-period fit cost.
+//  - Distributed-queue claim/commit overhead per chunk (src/dist) — the
+//    coordination cost a worker pays on top of the solver cost.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "core/ef_analysis.hpp"
 #include "core/exact_ctmc.hpp"
 #include "core/if_analysis.hpp"
 #include "core/policies.hpp"
+#include "dist/work_queue.hpp"
+#include "engine/spec.hpp"
 #include "phase/fit.hpp"
 #include "phase/size_dist.hpp"
 #include "queueing/mm1.hpp"
@@ -111,6 +117,69 @@ void BM_Coxian2Fit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Coxian2Fit);
+
+// Pure coordination overhead of the distributed queue: one claim (task
+// scan + atomic rename + owner stamp) plus one commit (chunk CSV + JSON
+// written atomically, done record, lease drop) per iteration, with the
+// solver replaced by precomputed results. Arg(n) is the chunk size — the
+// per-POINT overhead divides by it, which is why even a few-ms chunk cost
+// vanishes next to real solves once chunks hold dozens of points.
+void BM_QueueClaimCommit(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::size_t chunk_size = static_cast<std::size_t>(state.range(0));
+  const std::string dir =
+      (fs::temp_directory_path() / "esched_bench_queue").string();
+
+  // A 256-point sweep on the closed-form mmk backend; solve it once up
+  // front so iterations measure the queue, not the solver.
+  Scenario scenario;
+  scenario.name = "bench-queue";
+  scenario.k_values = {4};
+  scenario.rho_values = {0.9};
+  for (int n = 0; n < 256; ++n) {
+    scenario.mu_i_values.push_back(0.5 + 0.01 * n);
+  }
+  scenario.mu_i_values.erase(scenario.mu_i_values.begin());  // drop default
+  scenario.policies = {"IF"};
+  scenario.solvers = {SolverKind::kMmkBaseline};
+  LoadedSweep sweep;
+  sweep.scenarios = {scenario};
+  sweep.grids = {scenario.expand()};
+  sweep.scenario_size_dist = {false};
+  sweep.total_points = sweep.grids.front().size();
+  const std::vector<RunPoint> points = sweep.concatenated();
+  std::vector<RunResult> results;
+  results.reserve(points.size());
+  for (const RunPoint& point : points) results.push_back(dispatch_run(point));
+  SweepStats stats;
+  stats.total_points = chunk_size;
+
+  fs::remove_all(dir);
+  auto queue = WorkQueue::init(dir, sweep, chunk_size);
+  auto pending = queue.pending_tasks();
+  for (auto _ : state) {
+    if (pending.empty()) {
+      state.PauseTiming();
+      fs::remove_all(dir);
+      queue = WorkQueue::init(dir, sweep, chunk_size);
+      pending = queue.pending_tasks();
+      state.ResumeTiming();
+    }
+    const ChunkTask task = pending.back();
+    pending.pop_back();
+    benchmark::DoNotOptimize(queue.claim(task, "bench"));
+    const std::vector<RunPoint> slice(points.begin() + task.begin,
+                                      points.begin() + task.end);
+    const std::vector<RunResult> slice_results(results.begin() + task.begin,
+                                               results.begin() + task.end);
+    queue.commit(task, "bench", slice, slice_results, stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk_size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_QueueClaimCommit)->Arg(1)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

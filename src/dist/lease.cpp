@@ -1,0 +1,40 @@
+#include "dist/lease.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace fs = std::filesystem;
+
+bool atomic_move(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (!ec) return true;
+  // The one *expected* failure is losing a claim/requeue race: the source
+  // was already renamed away by someone else. Everything else (EACCES,
+  // EXDEV, ...) means the queue directory itself is broken and silence
+  // would wedge the worker loop.
+  if (ec == std::errc::no_such_file_or_directory) return false;
+  throw Error("cannot move '" + from + "' to '" + to + "': " + ec.message());
+}
+
+bool touch_heartbeat(const std::string& path) {
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return !ec;
+}
+
+std::optional<double> heartbeat_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  return std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                       mtime)
+      .count();
+}
+
+}  // namespace esched

@@ -1,0 +1,55 @@
+// Filesystem lease primitives for the distributed work queue (src/dist).
+//
+// The queue's whole coordination protocol is built on one POSIX fact: a
+// rename within a filesystem is atomic. A task is claimed by renaming its
+// file from tasks/ into leases/ — exactly one racing process wins, the
+// losers see ENOENT and move on, and there is no instant at which the
+// chunk exists in both directories or neither. A lease's heartbeat is its
+// file's mtime, bumped by the owner as rows complete; a lease whose
+// heartbeat is older than the TTL belongs to a crashed (or wedged) worker
+// and is reclaimed by renaming it back into tasks/. No locks, no
+// daemons, no network: any shared filesystem with atomic rename (local
+// disk, NFS) carries the queue.
+//
+// Clock caveat: heartbeats are file mtimes, so expiry compares the
+// writer's clock against the reader's. Across machines, keep clocks
+// within a small fraction of the lease TTL (and mind NFS attribute-cache
+// delays) or size the TTL generously — skew past the TTL makes live
+// leases look expired (reclaim thrash; still correct, since re-solves
+// produce identical bytes, but wasteful) or delays real reclaims by the
+// skew. On one machine there is one clock and none of this applies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace esched {
+
+/// One live lease as seen by a queue scan.
+struct LeaseInfo {
+  std::size_t chunk = 0;
+  std::string path;
+  /// Owner stamped into the lease file after the claim; empty when the
+  /// stamp is missing or the file is torn (still reclaimable by age).
+  std::string owner;
+  double age_seconds = 0.0;  ///< now - last heartbeat (file mtime)
+};
+
+/// Atomically moves `from` to `to` (claim: tasks/ -> leases/; requeue:
+/// leases/ -> tasks/). Returns false when the source no longer exists —
+/// another process won the race — and throws esched::Error on genuinely
+/// unexpected filesystem failures (permissions, cross-device, ...).
+bool atomic_move(const std::string& from, const std::string& to);
+
+/// Heartbeat: bumps `path`'s mtime to now. Returns false when the file
+/// is gone — the lease was reclaimed out from under its owner (the owner
+/// keeps solving; committing a reclaimed chunk is harmless because chunk
+/// results are deterministic, so both writers produce identical bytes).
+bool touch_heartbeat(const std::string& path);
+
+/// Seconds since `path`'s last heartbeat (mtime); nullopt when it is
+/// gone or unreadable.
+std::optional<double> heartbeat_age_seconds(const std::string& path);
+
+}  // namespace esched

@@ -8,8 +8,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/numeric.hpp"
 #include "common/table.hpp"
 #include "core/exact_ctmc.hpp"
@@ -285,8 +287,11 @@ MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
   ESCHED_CHECK(!inputs.empty(), "merge needs at least one input CSV");
   // Stream into a sibling temp file and rename at the end: the output
   // replaces `out_path` atomically, so a failed merge leaves no torn
-  // file and `--out` may even name one of the inputs.
-  const std::string tmp_path = out_path + ".merge-tmp";
+  // file, `--out` may even name one of the inputs, and concurrent merges
+  // racing on one --out each publish a complete file (unique temp names —
+  // a fixed name would let the loser keep writing into the winner's
+  // published artifact).
+  const std::string tmp_path = unique_tmp_path(out_path);
   std::vector<std::string> header;
   std::ofstream out;
   CsvSummary summary({});
@@ -337,12 +342,129 @@ MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
     throw;
   }
   out.close();
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, out_path, ec);
-  if (ec) std::remove(tmp_path.c_str());
-  ESCHED_CHECK(!ec, "cannot move merged report into place at '" + out_path +
-                        "': " + ec.message());
+  atomic_publish_file(tmp_path, out_path);
   return stats;
+}
+
+MergeStats merge_json_reports(const std::vector<std::string>& inputs,
+                              const std::string& out_path) {
+  ESCHED_CHECK(!inputs.empty(), "merge needs at least one input JSON report");
+  // Accumulate everything in memory first (reports are rows of numbers; a
+  // million-point sweep is tens of MB), then write temp + rename so a
+  // failed merge leaves no torn file and --out may name an input.
+  std::vector<std::string> point_lines;
+  std::vector<std::string> keys;  // the point-object "header"
+  std::string keys_source;        // which input defined it (may not be the
+                                  // first: zero-point inputs are skipped)
+  bool have_keys = false;
+  bool any_stats = false;
+  double total_points = 0, solved_points = 0, cache_hits = 0, disk_hits = 0;
+  double threads = 0, wall_seconds = 0;
+  MergeStats stats;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input, std::ios::binary);
+    ESCHED_CHECK(in.good(), "cannot read '" + input + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const JsonValue root = parse_json(buffer.str(), input);
+    const JsonValue* points = root.find("points");
+    ESCHED_CHECK(points != nullptr && points->is_array(),
+                 "'" + input +
+                     "' is not a JSON report (expected a \"points\" array)");
+    const auto& items = points->as_array(input + ": points");
+    for (std::size_t n = 0; n < items.size(); ++n) {
+      const std::string where =
+          input + ": points[" + std::to_string(n) + "]";
+      const auto& members = items[n].as_object(where);
+      std::vector<std::string> item_keys;
+      item_keys.reserve(members.size());
+      std::string line = "    {";
+      for (const auto& [key, value] : members) {
+        if (item_keys.size() > 0) line += ", ";
+        item_keys.push_back(key);
+        line += JsonValue::make_string(key).dump() + ": " + value.dump();
+      }
+      line += "}";
+      if (!have_keys) {
+        keys = std::move(item_keys);
+        keys_source = input;
+        have_keys = true;
+      } else {
+        // The schema check mirroring the CSV header comparison: every
+        // point of every input must carry the same columns in the same
+        // order, or the merged document would silently mix schemas.
+        ESCHED_CHECK(item_keys == keys,
+                     where + " has different fields than '" + keys_source +
+                         "'s first point; refusing to merge");
+      }
+      point_lines.push_back(std::move(line));
+      ++stats.rows;
+    }
+    if (const JsonValue* s = root.find("stats")) {
+      const std::string where = input + ": stats";
+      any_stats = true;
+      const auto add = [&](const char* key, double& sum) {
+        if (const JsonValue* v = s->find(key)) {
+          sum += v->as_number(where + "." + key);
+        }
+      };
+      add("total_points", total_points);
+      add("solved_points", solved_points);
+      add("cache_hits", cache_hits);
+      add("disk_hits", disk_hits);
+      add("wall_seconds", wall_seconds);
+      if (const JsonValue* v = s->find("threads")) {
+        threads = std::max(threads, v->as_number(where + ".threads"));
+      }
+    }
+    ++stats.files;
+  }
+
+  // Unique temp + rename, as in the CSV merge: concurrent merges racing
+  // on one --out each publish a complete file.
+  const std::string tmp_path = unique_tmp_path(out_path);
+  {
+    std::ofstream out(tmp_path);
+    ESCHED_CHECK(out.good(), "failed to open JSON file: " + tmp_path);
+    out << "{\n  \"points\": [\n";
+    for (std::size_t n = 0; n < point_lines.size(); ++n) {
+      out << point_lines[n] << (n + 1 < point_lines.size() ? "," : "")
+          << '\n';
+    }
+    out << "  ]";
+    if (any_stats) {
+      out << ",\n  \"stats\": {\"total_points\": "
+          << static_cast<long long>(total_points)
+          << ", \"solved_points\": " << static_cast<long long>(solved_points)
+          << ", \"cache_hits\": " << static_cast<long long>(cache_hits)
+          << ", \"disk_hits\": " << static_cast<long long>(disk_hits)
+          << ", \"threads\": " << static_cast<long long>(threads)
+          << ", \"wall_seconds\": " << format_double(wall_seconds) << "}";
+    }
+    out << "\n}\n";
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      throw Error("error writing '" + tmp_path + "'");
+    }
+  }
+  atomic_publish_file(tmp_path, out_path);
+  return stats;
+}
+
+RowCallback progress_callback(std::size_t total, std::ostream& os,
+                              std::size_t offset) {
+  // `os` is captured by reference: the callers (the CLI, dist workers)
+  // hand in std::cerr or a stream they outlive the sweep with.
+  return [total, offset, &os](std::size_t index, const RunPoint& point,
+                              const RunResult& result) {
+    os << "row " << (offset + index + 1) << "/" << total << " "
+       << solver_name(point.solver) << " " << point.policy
+       << " k=" << point.params.k
+       << " rho=" << format_double(point.params.rho())
+       << " et=" << format_double(result.mean_response_time) << " ("
+       << format_double(result.solve_seconds, 3) << " s)" << std::endl;
+  };
 }
 
 void write_json_report(const std::string& path,

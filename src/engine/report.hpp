@@ -150,6 +150,36 @@ struct MergeStats {
 MergeStats merge_csv_reports(const std::vector<std::string>& inputs,
                              const std::string& out_path);
 
+/// `esched merge` for JSON reports (and `esched collect --json`):
+/// concatenates the "points" arrays of {"points": [...], "stats": {...}}
+/// documents in argument order — shard/chunk order — and recomputes the
+/// stats block by summing the inputs' counters (total/solved points,
+/// cache/disk hits, wall seconds; threads is the max), mirroring the CSV
+/// merge invariant: merged points == the unsharded run's points,
+/// value-for-value (numbers re-serialize in shortest round-trip form, so
+/// byte identity is NOT promised — the CSV is the byte-exact artifact;
+/// wall-clock stats are volatile either way). Every point object must
+/// carry the same keys in the same order as the first input's first point
+/// (the JSON "header"); inputs with zero points are fine. The stats block
+/// is omitted when no input has one. Writes via temp + atomic rename, so
+/// out_path may name an input and a failed merge leaves no torn file.
+/// Throws esched::Error on unreadable/unparseable input or key mismatch.
+MergeStats merge_json_reports(const std::vector<std::string>& inputs,
+                              const std::string& out_path);
+
+/// One-line-per-completed-row progress printer for long sweeps: feed the
+/// returned callback into SweepRunner::run (or compose it with a
+/// streaming report's add_row). Each completed row prints
+///   "row <offset+index+1>/<total> <solver> <policy> k=<k> rho=<rho> "
+///   "et=<E[T]> (<solve s> s)"
+/// to `os`, flushed per line so `esched run --progress` and the dist
+/// workers share one tailable progress path. `offset` shifts the printed
+/// index for callers running a slice of a larger sweep (shards, queue
+/// chunks). The callback is invoked serialized by SweepRunner, so it
+/// needs no locking of its own.
+RowCallback progress_callback(std::size_t total, std::ostream& os,
+                              std::size_t offset = 0);
+
 /// Same rows as a JSON document: {"points": [...], "stats": {...}?}.
 /// `with_size_dist` as in write_csv_report.
 void write_json_report(const std::string& path,

@@ -1,5 +1,6 @@
 #include "engine/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -286,6 +287,17 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
   const std::size_t r = total % count;
   const auto begin_of = [&](std::size_t i) { return q * i + r * i / count; };
   return {begin_of(index), begin_of(index + 1)};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+    std::size_t total, std::size_t chunk_size) {
+  ESCHED_CHECK(chunk_size >= 1, "chunk size must be >= 1");
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(total / chunk_size + 1);
+  for (std::size_t begin = 0; begin < total; begin += chunk_size) {
+    ranges.emplace_back(begin, std::min(begin + chunk_size, total));
+  }
+  return ranges;
 }
 
 }  // namespace esched

@@ -178,6 +178,17 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
                                                 std::size_t index,
                                                 std::size_t count);
 
+/// Contiguous fixed-size chunk ranges covering [0, total) in row order:
+/// chunk c is [c * chunk_size, min((c+1) * chunk_size, total)), so every
+/// chunk holds exactly chunk_size points except a possibly-shorter final
+/// one. Unlike shard_range — which divides a sweep into a *given number*
+/// of slices — this divides it into slices of a *given size*, the unit
+/// the distributed work queue (src/dist) hands to workers; `esched merge`
+/// of the chunk CSVs in chunk order reproduces the unsharded report, the
+/// same invariant shards satisfy. Throws when chunk_size == 0.
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+    std::size_t total, std::size_t chunk_size);
+
 /// Named built-in scenarios, registered as embedded JSON specs through the
 /// same loader as user files (engine/spec): "fig4", "fig5", "fig6",
 /// "optimality-sweep", plus one per ported bench harness. Throws on an

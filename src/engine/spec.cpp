@@ -650,4 +650,42 @@ std::vector<std::string> builtin_scenario_names() {
   return names;
 }
 
+bool looks_like_spec_path(const std::string& arg) {
+  if (arg.find('/') != std::string::npos) return true;
+  return arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0;
+}
+
+std::vector<RunPoint> LoadedSweep::concatenated() const {
+  std::vector<RunPoint> all;
+  all.reserve(total_points);
+  for (const auto& grid : grids) {
+    all.insert(all.end(), grid.begin(), grid.end());
+  }
+  return all;
+}
+
+LoadedSweep load_sweep(const std::vector<std::string>& scenario_args,
+                       const SweepOverrides& overrides) {
+  ESCHED_CHECK(!scenario_args.empty(), "no scenarios given");
+  LoadedSweep sweep;
+  sweep.scenarios.reserve(scenario_args.size());
+  sweep.grids.reserve(scenario_args.size());
+  for (const auto& arg : scenario_args) {
+    Scenario scenario = looks_like_spec_path(arg) ? load_scenario_file(arg)
+                                                  : builtin_scenario(arg);
+    if (overrides.base_seed.has_value()) {
+      scenario.options.base_seed = *overrides.base_seed;
+    }
+    if (overrides.sim_jobs > 0) scenario.options.sim_jobs = overrides.sim_jobs;
+    sweep.grids.push_back(scenario.expand());  // validates, incl. options
+    sweep.scenarios.push_back(std::move(scenario));
+  }
+  for (const auto& grid : sweep.grids) {
+    sweep.scenario_size_dist.push_back(report_has_size_dists(grid));
+    if (sweep.scenario_size_dist.back()) sweep.with_size_dist = true;
+    sweep.total_points += grid.size();
+  }
+  return sweep;
+}
+
 }  // namespace esched

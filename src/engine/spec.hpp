@@ -41,7 +41,10 @@
 // one-glance fix.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "engine/scenario.hpp"
@@ -66,5 +69,44 @@ Scenario load_scenario_file(const std::string& path);
 /// (axes are emitted as explicit value lists, numbers in round-trippable
 /// form).
 JsonValue scenario_to_json(const Scenario& scenario);
+
+/// True when a CLI scenario argument names a spec file rather than a
+/// built-in: it contains a '/' or ends in ".json".
+bool looks_like_spec_path(const std::string& arg);
+
+/// CLI flag overrides applied to every loaded scenario before expansion.
+struct SweepOverrides {
+  std::optional<std::uint64_t> base_seed;  ///< --seed
+  std::uint64_t sim_jobs = 0;              ///< --sim-jobs (0 = keep)
+};
+
+/// A command line's scenario arguments loaded, overridden, and expanded
+/// as ONE sweep — the shared front half of `esched run`, `esched queue
+/// init`, and the dist workers. Everything is resolved up front: a typo'd
+/// second spec fails before any output exists, and the report schema
+/// (whether size_dist columns appear) derives from the FULL expanded
+/// grids, never from a shard or chunk slice, so every slice of one sweep
+/// emits the same header and `esched merge` accepts them.
+struct LoadedSweep {
+  std::vector<Scenario> scenarios;
+  /// Full expanded grid per scenario (same indexing as `scenarios`).
+  std::vector<std::vector<RunPoint>> grids;
+  /// report_has_size_dists per grid, and the OR over all of them — the
+  /// schema flag every report of this sweep must be written with.
+  std::vector<bool> scenario_size_dist;
+  bool with_size_dist = false;
+  std::size_t total_points = 0;  ///< sum of grid sizes
+
+  /// The grids concatenated in scenario order: the global row order of
+  /// the combined report (what --shard and the dist queue slice).
+  std::vector<RunPoint> concatenated() const;
+};
+
+/// Loads each argument (built-in name or spec path via
+/// looks_like_spec_path), applies `overrides`, expands, and derives the
+/// combined schema. Throws on unknown names, bad specs, or invalid
+/// options — before the caller has produced any output.
+LoadedSweep load_sweep(const std::vector<std::string>& scenario_args,
+                       const SweepOverrides& overrides = {});
 
 }  // namespace esched

@@ -13,8 +13,16 @@
 //   esched run fig5 --cache-dir .esched-cache  # skip already-solved points
 //   esched run fig5 --stream --out f5.csv      # tailable; resumes after a kill
 //   esched merge s0.csv s1.csv --out merged.csv
+//   esched merge a.json b.json --out m.json    # JSON reports merge too
 //   esched cache ls --cache-dir .esched-cache
 //   esched cache gc --cache-dir .esched-cache --max-age 86400
+//
+// Distributed sweeps (the filesystem work queue, src/dist):
+//
+//   esched queue init fig4 --queue-dir q --chunk 32   # expand into tasks
+//   esched work --queue-dir q         # claim/solve/commit chunks (run many)
+//   esched status --queue-dir q      # pending/leased/done counts + ETA
+//   esched collect --queue-dir q --out merged.csv --json merged.json
 //
 // (`esched <scenario>` without the `run` keyword still works.)
 //
@@ -30,6 +38,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "dist/work_queue.hpp"
+#include "dist/worker.hpp"
 #include "engine/disk_cache.hpp"
 #include "engine/report.hpp"
 #include "engine/scenario.hpp"
@@ -46,8 +56,16 @@ void print_usage() {
       "       esched show <scenario>\n"
       "       esched dists\n"
       "       esched merge <shard.csv>... --out merged.csv\n"
+      "       esched merge <shard.json>... --out merged.json\n"
       "       esched cache ls --cache-dir D\n"
       "       esched cache gc --cache-dir D [--max-age S] [--max-bytes B]\n"
+      "       esched queue init <scenario-or-spec.json>... --queue-dir Q\n"
+      "                        [--chunk N] [--seed S] [--sim-jobs N]\n"
+      "       esched work --queue-dir Q [--threads N] [--cache-dir D]\n"
+      "                   [--lease-ttl S] [--poll-ms M] [--max-chunks N]\n"
+      "                   [--owner NAME] [--progress] [--no-wait]\n"
+      "       esched status --queue-dir Q [--lease-ttl S]\n"
+      "       esched collect --queue-dir Q --out merged.csv [--json m.json]\n"
       "\n"
       "A scenario argument is a built-in name (see `esched list`) or a\n"
       "path to a JSON spec file (anything containing '/' or ending in\n"
@@ -72,11 +90,32 @@ void print_usage() {
       "                  re-solves — resume skips the writes either way)\n"
       "  --json PATH     also write a JSON report\n"
       "  --rows N        summary rows printed per scenario (default: 20)\n"
+      "  --progress      one stderr line per completed row (index, backend,\n"
+      "                  E[T], solve time) — the same progress path\n"
+      "                  `esched work --progress` uses\n"
       "\n"
       "cache options:\n"
       "  --max-age S     gc: evict entries older than S seconds\n"
       "  --max-bytes B   gc: then evict oldest until the directory holds\n"
-      "                  at most B bytes\n");
+      "                  at most B bytes\n"
+      "\n"
+      "distributed queue (many `esched work` processes on one queue\n"
+      "directory — local disk or a shared filesystem — cooperatively solve\n"
+      "one sweep; see README 'Distributed sweeps'):\n"
+      "  queue init      expand the sweep into chunked task files under Q\n"
+      "                  (--chunk points per work unit, default 32)\n"
+      "  work            claim tasks by atomic rename, solve them through\n"
+      "                  the sweep engine, commit per-chunk CSV/JSON\n"
+      "                  results atomically; expired leases (--lease-ttl,\n"
+      "                  default 60 s since last heartbeat) are requeued,\n"
+      "                  so killed workers lose nothing\n"
+      "  status          pending/leased/done chunk counts, points done,\n"
+      "                  active workers, and an ETA from committed solve\n"
+      "                  times\n"
+      "  collect         validate completeness and merge the chunk results\n"
+      "                  in chunk order: --out CSV is byte-identical to the\n"
+      "                  unsharded `esched run` CSV; --json merges the\n"
+      "                  chunk JSON reports with recomputed stats\n");
 }
 
 /// `esched dists`: the supported size-distribution families.
@@ -132,12 +171,8 @@ std::pair<std::size_t, std::size_t> parse_shard(const std::string& value) {
   return {static_cast<std::size_t>(index), static_cast<std::size_t>(count)};
 }
 
-bool looks_like_spec_path(const std::string& arg) {
-  if (arg.find('/') != std::string::npos) return true;
-  return arg.size() > 5 && arg.compare(arg.size() - 5, 5, ".json") == 0;
-}
-
-/// `esched merge <a.csv> <b.csv> ... --out merged.csv`
+/// `esched merge <a.csv> <b.csv> ... --out merged.csv` — or the same with
+/// .json report documents (the --out extension picks the format).
 int run_merge(const std::vector<std::string>& args) {
   std::vector<std::string> inputs;
   std::string out_path;
@@ -152,13 +187,22 @@ int run_merge(const std::vector<std::string>& args) {
     }
   }
   if (inputs.empty()) {
-    throw esched::Error("merge expects at least one input CSV");
+    throw esched::Error("merge expects at least one input report");
   }
   if (out_path.empty()) {
-    throw esched::Error("merge requires --out <merged.csv>");
+    throw esched::Error("merge requires --out <merged.csv|merged.json>");
+  }
+  const bool json = out_path.ends_with(".json");
+  for (const std::string& input : inputs) {
+    if (input.ends_with(".json") != json) {
+      throw esched::Error(
+          "refusing to mix CSV and JSON reports in one merge ('" + input +
+          "' vs --out " + out_path + ")");
+    }
   }
   const esched::MergeStats stats =
-      esched::merge_csv_reports(inputs, out_path);
+      json ? esched::merge_json_reports(inputs, out_path)
+           : esched::merge_csv_reports(inputs, out_path);
   std::printf("merged %zu file%s into %s (%zu rows)\n", stats.files,
               stats.files == 1 ? "" : "s", out_path.c_str(), stats.rows);
   return 0;
@@ -222,6 +266,218 @@ int run_cache(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Shared "--flag VALUE" accessor for the queue subcommand parsers.
+std::string next_value(const std::vector<std::string>& args, std::size_t* n,
+                       const char* flag) {
+  if (*n + 1 >= args.size()) {
+    throw esched::Error(std::string(flag) + " expects a value");
+  }
+  return args[++*n];
+}
+
+/// `esched queue init <scenario>... --queue-dir Q [--chunk N] ...`
+int run_queue(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "init") {
+    throw esched::Error("queue expects a subcommand: init");
+  }
+  std::vector<std::string> scenario_args;
+  std::string queue_dir;
+  std::size_t chunk = 32;
+  esched::SweepOverrides overrides;
+  for (std::size_t n = 1; n < args.size(); ++n) {
+    if (args[n] == "--queue-dir") {
+      queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--chunk") {
+      chunk = static_cast<std::size_t>(
+          parse_long("--chunk", next_value(args, &n, "--chunk")));
+    } else if (args[n] == "--seed") {
+      overrides.base_seed = static_cast<std::uint64_t>(
+          parse_long("--seed", next_value(args, &n, "--seed")));
+    } else if (args[n] == "--sim-jobs") {
+      overrides.sim_jobs = static_cast<std::uint64_t>(
+          parse_long("--sim-jobs", next_value(args, &n, "--sim-jobs")));
+    } else if (!args[n].empty() && args[n][0] == '-') {
+      throw esched::Error("unknown queue init option '" + args[n] + "'");
+    } else {
+      scenario_args.push_back(args[n]);
+    }
+  }
+  if (scenario_args.empty()) {
+    throw esched::Error("queue init expects at least one scenario or spec");
+  }
+  if (queue_dir.empty()) {
+    throw esched::Error("queue init requires --queue-dir Q");
+  }
+  if (chunk == 0) {
+    throw esched::Error("--chunk must be >= 1");
+  }
+  const esched::LoadedSweep sweep = esched::load_sweep(scenario_args,
+                                                       overrides);
+  const esched::WorkQueue queue =
+      esched::WorkQueue::init(queue_dir, sweep, chunk);
+  std::printf(
+      "queue %s: %zu chunks x <=%zu points (%zu points, %zu scenario%s)\n"
+      "run `esched work --queue-dir %s` — as many workers as you like\n",
+      queue_dir.c_str(), queue.manifest().num_chunks, chunk,
+      sweep.total_points, sweep.scenarios.size(),
+      sweep.scenarios.size() == 1 ? "" : "s", queue_dir.c_str());
+  return 0;
+}
+
+/// `esched work --queue-dir Q [...]`
+int run_work(const std::vector<std::string>& args) {
+  std::string queue_dir;
+  esched::WorkerOptions options;
+  options.log = &std::cerr;
+  for (std::size_t n = 0; n < args.size(); ++n) {
+    if (args[n] == "--queue-dir") {
+      queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--threads") {
+      options.threads = static_cast<int>(
+          parse_long("--threads", next_value(args, &n, "--threads")));
+    } else if (args[n] == "--cache-dir") {
+      options.cache_dir = next_value(args, &n, "--cache-dir");
+    } else if (args[n] == "--owner") {
+      options.owner = next_value(args, &n, "--owner");
+    } else if (args[n] == "--lease-ttl") {
+      options.lease_ttl_seconds = static_cast<double>(
+          parse_long("--lease-ttl", next_value(args, &n, "--lease-ttl")));
+    } else if (args[n] == "--poll-ms") {
+      options.poll_ms = static_cast<int>(
+          parse_long("--poll-ms", next_value(args, &n, "--poll-ms")));
+    } else if (args[n] == "--max-chunks") {
+      options.max_chunks = static_cast<std::size_t>(
+          parse_long("--max-chunks", next_value(args, &n, "--max-chunks")));
+    } else if (args[n] == "--progress") {
+      options.progress = true;
+    } else if (args[n] == "--no-wait") {
+      options.wait_for_stragglers = false;
+    } else if (args[n] == "--abandon") {
+      // Crash-test hook: claim a chunk and exit holding the lease, so CI
+      // can exercise lease expiry + requeue deterministically.
+      options.abandon = true;
+    } else {
+      throw esched::Error("unknown work option '" + args[n] + "'");
+    }
+  }
+  if (queue_dir.empty()) {
+    throw esched::Error("work requires --queue-dir Q");
+  }
+  const esched::WorkerSummary summary = esched::run_worker(queue_dir, options);
+  std::printf("work %s: %zu chunks (%zu points) solved, %zu requeued%s\n",
+              queue_dir.c_str(), summary.chunks_solved, summary.points_solved,
+              summary.chunks_requeued,
+              summary.queue_drained ? "; queue drained" : "");
+  if (summary.queue_failed > 0) {
+    std::fprintf(stderr,
+                 "esched: %zu chunk(s) failed permanently (deterministic "
+                 "solver errors; see %s/failed/ and `esched status`)\n",
+                 summary.queue_failed, queue_dir.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `esched status --queue-dir Q [--lease-ttl S]`
+int run_status(const std::vector<std::string>& args) {
+  std::string queue_dir;
+  double lease_ttl = 60.0;
+  for (std::size_t n = 0; n < args.size(); ++n) {
+    if (args[n] == "--queue-dir") {
+      queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--lease-ttl") {
+      lease_ttl = static_cast<double>(
+          parse_long("--lease-ttl", next_value(args, &n, "--lease-ttl")));
+    } else {
+      throw esched::Error("unknown status option '" + args[n] + "'");
+    }
+  }
+  if (queue_dir.empty()) {
+    throw esched::Error("status requires --queue-dir Q");
+  }
+  const esched::WorkQueue queue(queue_dir);
+  const esched::QueueManifest& manifest = queue.manifest();
+  const esched::QueueCounts counts = queue.counts(lease_ttl);
+  std::printf("queue %s: %zu chunks x <=%zu points (%zu points total)\n",
+              queue_dir.c_str(), manifest.num_chunks, manifest.chunk_size,
+              manifest.total_points);
+  std::printf("  pending: %zu   leased: %zu (%zu expired)   done: %zu/%zu\n",
+              counts.pending, counts.leased, counts.expired, counts.done,
+              manifest.num_chunks);
+  if (counts.failed > 0) {
+    std::printf("  FAILED: %zu chunk(s) — deterministic solver errors:\n",
+                counts.failed);
+    for (const esched::FailureRecord& failure : queue.failures()) {
+      std::printf("    chunk %zu (%s): %s\n", failure.chunk,
+                  failure.owner.c_str(), failure.error.c_str());
+    }
+  }
+  std::printf("  points done: %zu/%zu (%.1f%%)\n", counts.done_points,
+              manifest.total_points,
+              manifest.total_points == 0
+                  ? 100.0
+                  : 100.0 * static_cast<double>(counts.done_points) /
+                        static_cast<double>(manifest.total_points));
+  if (counts.done_points > 0 && counts.done < manifest.num_chunks) {
+    const double per_point =
+        counts.done_seconds / static_cast<double>(counts.done_points);
+    const double remaining =
+        per_point *
+        static_cast<double>(manifest.total_points - counts.done_points);
+    const std::size_t workers =
+        counts.active_workers > 0 ? counts.active_workers : 1;
+    std::printf(
+        "  avg solve: %.4f s/point; ~%.1f s of work left (~%.1f s at %zu "
+        "active worker%s)\n",
+        per_point, remaining, remaining / static_cast<double>(workers),
+        workers, workers == 1 ? "" : "s");
+  }
+  if (counts.done == manifest.num_chunks) {
+    std::printf("  complete — `esched collect --queue-dir %s --out ...`\n",
+                queue_dir.c_str());
+  }
+  return 0;
+}
+
+/// `esched collect --queue-dir Q --out merged.csv [--json merged.json]`
+int run_collect(const std::vector<std::string>& args) {
+  std::string queue_dir;
+  std::string out_path;
+  std::string json_path;
+  for (std::size_t n = 0; n < args.size(); ++n) {
+    if (args[n] == "--queue-dir") {
+      queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--out") {
+      out_path = next_value(args, &n, "--out");
+    } else if (args[n] == "--json") {
+      json_path = next_value(args, &n, "--json");
+    } else {
+      throw esched::Error("unknown collect option '" + args[n] + "'");
+    }
+  }
+  if (queue_dir.empty()) {
+    throw esched::Error("collect requires --queue-dir Q");
+  }
+  if (out_path.empty() && json_path.empty()) {
+    throw esched::Error("collect requires --out PATH (and/or --json PATH)");
+  }
+  const esched::WorkQueue queue(queue_dir);
+  queue.sweep_stale_tmp();
+  if (!out_path.empty()) {
+    const esched::MergeStats stats = esched::merge_csv_reports(
+        queue.collectable_paths(/*json=*/false), out_path);
+    std::printf("collected %s: %zu rows from %zu chunks\n", out_path.c_str(),
+                stats.rows, stats.files);
+  }
+  if (!json_path.empty()) {
+    const esched::MergeStats stats = esched::merge_json_reports(
+        queue.collectable_paths(/*json=*/true), json_path);
+    std::printf("collected %s: %zu rows from %zu chunks\n", json_path.c_str(),
+                stats.rows, stats.files);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +495,7 @@ int main(int argc, char** argv) {
   std::size_t shard_count = 1;
   bool show_spec = false;
   bool stream = false;
+  bool show_progress = false;
 
   try {
     if (argc > 1) {
@@ -246,6 +503,10 @@ int main(int argc, char** argv) {
       const std::vector<std::string> rest(argv + 2, argv + argc);
       if (subcommand == "merge") return run_merge(rest);
       if (subcommand == "cache") return run_cache(rest);
+      if (subcommand == "queue") return run_queue(rest);
+      if (subcommand == "work") return run_work(rest);
+      if (subcommand == "status") return run_status(rest);
+      if (subcommand == "collect") return run_collect(rest);
     }
     for (int n = 1; n < argc; ++n) {
       const std::string arg = argv[n];
@@ -289,6 +550,8 @@ int main(int argc, char** argv) {
         out_path = next_value("--out");
       } else if (arg == "--stream") {
         stream = true;
+      } else if (arg == "--progress") {
+        show_progress = true;
       } else if (arg == "--json") {
         json_path = next_value("--json");
       } else if (arg == "--rows") {
@@ -306,8 +569,9 @@ int main(int argc, char** argv) {
       }
       for (const auto& name : scenario_args) {
         const esched::Scenario scenario =
-            looks_like_spec_path(name) ? esched::load_scenario_file(name)
-                                       : esched::builtin_scenario(name);
+            esched::looks_like_spec_path(name)
+                ? esched::load_scenario_file(name)
+                : esched::builtin_scenario(name);
         std::printf("%s\n", esched::scenario_to_json(scenario).dump().c_str());
       }
       return 0;
@@ -324,29 +588,28 @@ int main(int argc, char** argv) {
 
     esched::SweepRunner runner(threads);
     if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
-    // Load (and expand) every scenario before any output: a typo'd second
-    // spec must not leave a half-written report, and the report schema —
-    // whether size_dist columns appear — must derive from the FULL
-    // expanded sweeps, never from a shard slice, so every shard of one
-    // command line shares one header and `esched merge` accepts them.
-    std::vector<esched::Scenario> scenarios;
-    std::vector<std::vector<esched::RunPoint>> full_grids;
-    scenarios.reserve(scenario_args.size());
-    full_grids.reserve(scenario_args.size());
-    for (const auto& arg : scenario_args) {
-      esched::Scenario scenario = looks_like_spec_path(arg)
-                                      ? esched::load_scenario_file(arg)
-                                      : esched::builtin_scenario(arg);
-      if (seed_set) scenario.options.base_seed = seed;
-      if (sim_jobs > 0) scenario.options.sim_jobs = sim_jobs;
-      full_grids.push_back(scenario.expand());  // validates, incl. options
-      scenarios.push_back(std::move(scenario));
-    }
-    std::vector<bool> scenario_size_dist;
-    bool with_size_dist = false;
-    for (const auto& grid : full_grids) {
-      scenario_size_dist.push_back(esched::report_has_size_dists(grid));
-      if (scenario_size_dist.back()) with_size_dist = true;
+    // Load (and expand) every scenario before any output (engine
+    // load_sweep, shared with `esched queue init` and the dist workers):
+    // a typo'd second spec must not leave a half-written report, and the
+    // report schema — whether size_dist columns appear — derives from the
+    // FULL expanded sweeps, never from a shard slice, so every shard of
+    // one command line shares one header and `esched merge` accepts them.
+    esched::SweepOverrides overrides;
+    if (seed_set) overrides.base_seed = seed;
+    overrides.sim_jobs = sim_jobs;
+    esched::LoadedSweep sweep = esched::load_sweep(scenario_args, overrides);
+    const bool with_size_dist = sweep.with_size_dist;
+    // Rows this invocation will actually run (the shard slices), for the
+    // --progress denominator.
+    std::size_t invocation_rows = 0;
+    for (const auto& grid : sweep.grids) {
+      if (shard_count > 1) {
+        const auto [begin, end] =
+            esched::shard_range(grid.size(), shard_index, shard_count);
+        invocation_rows += end - begin;
+      } else {
+        invocation_rows += grid.size();
+      }
     }
     // --out/--json collect every scenario into ONE combined report (the
     // schema is uniform across solvers); without --out each scenario
@@ -367,11 +630,11 @@ int main(int argc, char** argv) {
     std::vector<esched::RunResult> all_results;
     esched::SweepStats combined;
     combined.threads_used = runner.num_threads();
-    for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
-      const esched::Scenario& scenario = scenarios[sc];
+    for (std::size_t sc = 0; sc < sweep.scenarios.size(); ++sc) {
+      const esched::Scenario& scenario = sweep.scenarios[sc];
       std::printf("=== scenario %s: %s ===\n", scenario.name.c_str(),
                   scenario.description.c_str());
-      auto points = std::move(full_grids[sc]);
+      auto points = std::move(sweep.grids[sc]);
       if (shard_count > 1) {
         // Contiguous row-order split: `esched merge` of the shard CSVs in
         // shard order reproduces the unsharded report row for row.
@@ -386,12 +649,22 @@ int main(int argc, char** argv) {
       }
       esched::SweepStats stats;
       esched::RowCallback on_row;
-      if (stream_report != nullptr) {
+      if (stream_report != nullptr || show_progress) {
         const std::size_t base = streamed_offset;
-        on_row = [&stream_report, base](std::size_t index,
-                                        const esched::RunPoint& point,
-                                        const esched::RunResult& result) {
-          stream_report->add_row(base + index, point, result);
+        // The progress callback offsets by `base` itself, so both
+        // consumers number rows in the combined invocation order.
+        esched::RowCallback progress;
+        if (show_progress) {
+          progress =
+              esched::progress_callback(invocation_rows, std::cerr, base);
+        }
+        on_row = [&stream_report, progress, base](
+                     std::size_t index, const esched::RunPoint& point,
+                     const esched::RunResult& result) {
+          if (progress) progress(index, point, result);
+          if (stream_report != nullptr) {
+            stream_report->add_row(base + index, point, result);
+          }
         };
       }
       const auto results = runner.run(points, &stats, on_row);
@@ -416,7 +689,8 @@ int main(int argc, char** argv) {
         // scenario emits the same header however its slice falls.
         const std::string csv_path = scenario.name + ".csv";
         esched::write_csv_report(csv_path, points, results,
-                                 scenario_size_dist[sc]);
+                                 static_cast<bool>(
+                                     sweep.scenario_size_dist[sc]));
         std::printf("wrote %s (%zu rows)\n", csv_path.c_str(), points.size());
       }
       if (!out_path.empty() || !json_path.empty()) {
