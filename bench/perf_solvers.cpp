@@ -1,17 +1,50 @@
-// Performance/ablation suite (google-benchmark):
+// Performance suite emitting schema-versioned BENCH_perf.json snapshots,
+// so the perf trajectory is tracked per PR instead of anecdotal:
 //  - QBD analysis cost vs k — the paper's pitch against [7]'s truncated
 //    MDP approach is that the matrix-analytic solution is cheap and does
 //    not truncate; quantify it.
 //  - Exact truncated-chain solve cost vs truncation level (the [7]-style
-//    baseline this library also ships).
-//  - Job-level and state-level simulator throughput.
+//    baseline this library also ships), plus the phase-type-augmented
+//    chain, with peak state counts recorded per case.
+//  - Job-level and state-level simulator throughput (jobs/second).
 //  - Coxian busy-period fit cost.
 //  - Distributed-queue claim/commit overhead per chunk (src/dist) — the
 //    coordination cost a worker pays on top of the solver cost.
-#include <benchmark/benchmark.h>
-
+//
+// Dependency-free by design (no google-benchmark): each case runs
+// repeatedly until --min-time accumulates, and the JSON carries per-case
+// mean/min/max/p50/p90/p99 wall seconds, optional items/second, case
+// counters (states, iterations), and host info. Modes:
+//
+//   bench_perf_solvers --out BENCH_perf.json          # full run
+//   bench_perf_solvers --smoke --out BENCH_perf.json  # CI: 1 iter, small args
+//   bench_perf_solvers --filter exact                 # substring filter
+//   bench_perf_solvers --validate BENCH_perf.json     # schema check, exit 0/1
+//
+// Compare snapshots across PRs with `diff` or jq; see README
+// "Observability". The schema_version field gates automated comparisons.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#endif
+
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
 #include "core/ef_analysis.hpp"
 #include "core/exact_ctmc.hpp"
 #include "core/if_analysis.hpp"
@@ -28,159 +61,453 @@ namespace {
 
 using namespace esched;
 
-void BM_IfAnalysis(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(analyze_inelastic_first(p).mean_response_time);
-  }
+constexpr const char* kBenchFormat = "esched-bench";
+constexpr int kBenchSchemaVersion = 1;
+
+/// Optimization sink: assigning through a volatile keeps the measured
+/// computation alive without a compiler-specific DoNotOptimize.
+volatile double g_sink = 0.0;
+
+/// One registered case. `body` runs one timed iteration and may fill
+/// `counters` (last write wins — counters describe the workload, not the
+/// timing). full_only cases are skipped in --smoke mode, which keeps one
+/// small representative per family.
+struct BenchCase {
+  std::string name;
+  bool full_only = false;
+  double items_per_iteration = 0.0;  ///< > 0 enables items_per_second
+  std::function<void(std::map<std::string, double>& counters)> body;
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<double> samples;  ///< per-iteration wall seconds
+  double items_per_iteration = 0.0;
+  std::map<std::string, double> counters;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
-BENCHMARK(BM_IfAnalysis)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-void BM_EfAnalysis(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(analyze_elastic_first(p).mean_response_time);
+/// Times `bench.body` until `min_time` seconds accumulate (at least one
+/// iteration, at most 10000). Smoke mode passes min_time 0 → exactly one.
+BenchResult run_case(const BenchCase& bench, double min_time) {
+  BenchResult result;
+  result.name = bench.name;
+  result.items_per_iteration = bench.items_per_iteration;
+  double total = 0.0;
+  while (result.samples.empty() ||
+         (total < min_time && result.samples.size() < 10000)) {
+    const auto start = std::chrono::steady_clock::now();
+    bench.body(result.counters);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.samples.push_back(seconds);
+    total += seconds;
   }
+  return result;
 }
-BENCHMARK(BM_EfAnalysis)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
 
-void BM_ExactCtmcSolve(benchmark::State& state) {
-  const long trunc = state.range(0);
-  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
-  ExactCtmcOptions opt;
-  opt.imax = opt.jmax = trunc;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solve_exact_ctmc(p, InelasticFirst{}, opt).mean_response_time);
+JsonValue host_info() {
+  JsonValue host = JsonValue::make_object();
+  std::string hostname = "unknown";
+#if __has_include(<unistd.h>)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    hostname = buf;
   }
-  state.SetComplexityN(trunc);
+#endif
+  host.set("hostname", JsonValue::make_string(hostname));
+  host.set("hardware_threads",
+           JsonValue::make_number(
+               static_cast<double>(std::thread::hardware_concurrency())));
+#if defined(__VERSION__)
+  host.set("compiler", JsonValue::make_string(__VERSION__));
+#else
+  host.set("compiler", JsonValue::make_string("unknown"));
+#endif
+  host.set("pointer_bits",
+           JsonValue::make_number(static_cast<double>(sizeof(void*) * 8)));
+#if defined(NDEBUG)
+  host.set("assertions", JsonValue::make_bool(false));
+#else
+  host.set("assertions", JsonValue::make_bool(true));
+#endif
+  return host;
 }
-BENCHMARK(BM_ExactCtmcSolve)->Arg(20)->Arg(40)->Arg(80)->Arg(160)
-    ->Unit(benchmark::kMillisecond)->Complexity();
 
-// The same truncated solve with Erlang-3 inelastic sizes: the state
-// augmentation multiplies the space by the seat-phase configurations
-// (C(k+m, m) per (w, j) cell), which is the cost of dropping the Exp(mu_I)
-// assumption exactly rather than by simulation.
-void BM_ExactCtmcPhSolve(benchmark::State& state) {
-  const long trunc = state.range(0);
-  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
-  const PhaseType erl3 = SizeDistSpec::parse("erlang:3").compile(p.mu_i);
-  ExactCtmcOptions opt;
-  opt.imax = opt.jmax = trunc;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solve_exact_ctmc_ph(p, InelasticFirst{}, erl3, opt)
-            .mean_response_time);
+JsonValue result_to_json(const BenchResult& r) {
+  std::vector<double> sorted = r.samples;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double s : sorted) sum += s;
+  const double mean = sum / static_cast<double>(sorted.size());
+  JsonValue entry = JsonValue::make_object();
+  entry.set("name", JsonValue::make_string(r.name));
+  entry.set("iterations",
+            JsonValue::make_number(static_cast<double>(sorted.size())));
+  entry.set("mean_seconds", JsonValue::make_number(mean));
+  entry.set("min_seconds", JsonValue::make_number(sorted.front()));
+  entry.set("max_seconds", JsonValue::make_number(sorted.back()));
+  entry.set("p50_seconds", JsonValue::make_number(percentile(sorted, 0.50)));
+  entry.set("p90_seconds", JsonValue::make_number(percentile(sorted, 0.90)));
+  entry.set("p99_seconds", JsonValue::make_number(percentile(sorted, 0.99)));
+  if (r.items_per_iteration > 0.0 && mean > 0.0) {
+    entry.set("items_per_second",
+              JsonValue::make_number(r.items_per_iteration / mean));
   }
-  state.SetComplexityN(trunc);
-}
-BENCHMARK(BM_ExactCtmcPhSolve)->Arg(20)->Arg(40)->Arg(80)
-    ->Unit(benchmark::kMillisecond)->Complexity();
-
-void BM_JobLevelSimulator(benchmark::State& state) {
-  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
-  SimOptions opt;
-  opt.num_jobs = 20000;
-  opt.warmup_jobs = 1000;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    opt.seed = seed++;
-    benchmark::DoNotOptimize(
-        simulate(p, InelasticFirst{}, opt).mean_response_time.mean);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(opt.num_jobs));
-}
-BENCHMARK(BM_JobLevelSimulator)->Unit(benchmark::kMillisecond);
-
-void BM_CtmcSimulator(benchmark::State& state) {
-  const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
-  CtmcSimOptions opt;
-  opt.horizon = 10000.0;
-  opt.warmup = 500.0;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    opt.seed = seed++;
-    benchmark::DoNotOptimize(
-        simulate_ctmc(p, InelasticFirst{}, opt).mean_response_time);
-  }
-}
-BENCHMARK(BM_CtmcSimulator)->Unit(benchmark::kMillisecond);
-
-void BM_Coxian2Fit(benchmark::State& state) {
-  const Moments3 m = MM1(0.9, 1.0).busy_period_moments();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fit_coxian2(m).nu1);
-  }
-}
-BENCHMARK(BM_Coxian2Fit);
-
-// Pure coordination overhead of the distributed queue: one claim (task
-// scan + atomic rename + owner stamp) plus one commit (chunk CSV + JSON
-// written atomically, done record, lease drop) per iteration, with the
-// solver replaced by precomputed results. Arg(n) is the chunk size — the
-// per-POINT overhead divides by it, which is why even a few-ms chunk cost
-// vanishes next to real solves once chunks hold dozens of points.
-void BM_QueueClaimCommit(benchmark::State& state) {
-  namespace fs = std::filesystem;
-  const std::size_t chunk_size = static_cast<std::size_t>(state.range(0));
-  const std::string dir =
-      (fs::temp_directory_path() / "esched_bench_queue").string();
-
-  // A 256-point sweep on the closed-form mmk backend; solve it once up
-  // front so iterations measure the queue, not the solver.
-  Scenario scenario;
-  scenario.name = "bench-queue";
-  scenario.k_values = {4};
-  scenario.rho_values = {0.9};
-  for (int n = 0; n < 256; ++n) {
-    scenario.mu_i_values.push_back(0.5 + 0.01 * n);
-  }
-  scenario.mu_i_values.erase(scenario.mu_i_values.begin());  // drop default
-  scenario.policies = {"IF"};
-  scenario.solvers = {SolverKind::kMmkBaseline};
-  LoadedSweep sweep;
-  sweep.scenarios = {scenario};
-  sweep.grids = {scenario.expand()};
-  sweep.scenario_size_dist = {false};
-  sweep.total_points = sweep.grids.front().size();
-  const std::vector<RunPoint> points = sweep.concatenated();
-  std::vector<RunResult> results;
-  results.reserve(points.size());
-  for (const RunPoint& point : points) results.push_back(dispatch_run(point));
-  SweepStats stats;
-  stats.total_points = chunk_size;
-
-  fs::remove_all(dir);
-  auto queue = WorkQueue::init(dir, sweep, chunk_size);
-  auto pending = queue.pending_tasks();
-  for (auto _ : state) {
-    if (pending.empty()) {
-      state.PauseTiming();
-      fs::remove_all(dir);
-      queue = WorkQueue::init(dir, sweep, chunk_size);
-      pending = queue.pending_tasks();
-      state.ResumeTiming();
+  if (!r.counters.empty()) {
+    JsonValue counters = JsonValue::make_object();
+    for (const auto& [name, value] : r.counters) {
+      counters.set(name, JsonValue::make_number(value));
     }
-    const ChunkTask task = pending.back();
-    pending.pop_back();
-    benchmark::DoNotOptimize(queue.claim(task, "bench"));
-    const std::vector<RunPoint> slice(points.begin() + task.begin,
-                                      points.begin() + task.end);
-    const std::vector<RunResult> slice_results(results.begin() + task.begin,
-                                               results.begin() + task.end);
-    queue.commit(task, "bench", slice, slice_results, stats);
+    entry.set("counters", std::move(counters));
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(chunk_size));
-  fs::remove_all(dir);
+  return entry;
 }
-BENCHMARK(BM_QueueClaimCommit)->Arg(1)->Arg(16)->Arg(64)
-    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Case registration. Mirrors the historical google-benchmark suite: same
+// workloads, same arguments, so old anecdotal numbers stay comparable.
+
+std::vector<BenchCase> build_cases() {
+  std::vector<BenchCase> cases;
+
+  for (const int k : {2, 4, 8, 16, 32, 64}) {
+    cases.push_back(
+        {"if_analysis/k=" + std::to_string(k), k != 4, 0.0,
+         [k](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
+           const ResponseTimeAnalysis a = analyze_inelastic_first(p);
+           g_sink = a.mean_response_time;
+           counters["qbd_iterations"] = a.qbd_iterations;
+         }});
+  }
+  for (const int k : {2, 4, 16, 64}) {
+    cases.push_back(
+        {"ef_analysis/k=" + std::to_string(k), k != 4, 0.0,
+         [k](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(k, 2.0, 1.0, 0.8);
+           const ResponseTimeAnalysis a = analyze_elastic_first(p);
+           g_sink = a.mean_response_time;
+           counters["qbd_iterations"] = a.qbd_iterations;
+         }});
+  }
+  for (const long trunc : {20L, 40L, 80L, 160L}) {
+    cases.push_back(
+        {"exact_ctmc/trunc=" + std::to_string(trunc), trunc != 20, 0.0,
+         [trunc](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+           ExactCtmcOptions opt;
+           opt.imax = opt.jmax = trunc;
+           const ExactCtmcResult r =
+               solve_exact_ctmc(p, InelasticFirst{}, opt);
+           g_sink = r.mean_response_time;
+           counters["states"] = static_cast<double>(r.num_states);
+           counters["solver_iterations"] =
+               static_cast<double>(r.solve_info.iterations);
+         }});
+  }
+  // The same truncated solve with Erlang-3 inelastic sizes: the state
+  // augmentation multiplies the space by the seat-phase configurations,
+  // which is the cost of dropping the Exp(mu_I) assumption exactly.
+  for (const long trunc : {20L, 40L, 80L}) {
+    cases.push_back(
+        {"exact_ctmc_ph_erlang3/trunc=" + std::to_string(trunc), trunc != 20,
+         0.0, [trunc](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+           const PhaseType erl3 =
+               SizeDistSpec::parse("erlang:3").compile(p.mu_i);
+           ExactCtmcOptions opt;
+           opt.imax = opt.jmax = trunc;
+           const ExactCtmcResult r =
+               solve_exact_ctmc_ph(p, InelasticFirst{}, erl3, opt);
+           g_sink = r.mean_response_time;
+           counters["states"] = static_cast<double>(r.num_states);
+         }});
+  }
+  {
+    constexpr std::uint64_t kJobs = 20000;
+    // Per-iteration seed bump keeps iterations honest (no chance of the
+    // branch predictor learning one fixed trace) without touching any
+    // engine RNG stream.
+    auto seed = std::make_shared<std::uint64_t>(1);
+    cases.push_back(
+        {"sim_job_level", false, static_cast<double>(kJobs),
+         [seed](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+           SimOptions opt;
+           opt.num_jobs = kJobs;
+           opt.warmup_jobs = 1000;
+           opt.seed = (*seed)++;
+           g_sink = simulate(p, InelasticFirst{}, opt).mean_response_time.mean;
+           counters["jobs"] = static_cast<double>(kJobs);
+         }});
+  }
+  {
+    auto seed = std::make_shared<std::uint64_t>(1);
+    cases.push_back(
+        {"sim_ctmc", false, 0.0,
+         [seed](std::map<std::string, double>&) {
+           const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+           CtmcSimOptions opt;
+           opt.horizon = 10000.0;
+           opt.warmup = 500.0;
+           opt.seed = (*seed)++;
+           g_sink = simulate_ctmc(p, InelasticFirst{}, opt).mean_response_time;
+         }});
+  }
+  cases.push_back({"coxian2_fit", false, 0.0,
+                   [](std::map<std::string, double>&) {
+                     const Moments3 m = MM1(0.9, 1.0).busy_period_moments();
+                     g_sink = fit_coxian2(m).nu1;
+                   }});
+
+  // Pure coordination overhead of the distributed queue: one claim (task
+  // scan + atomic rename + owner stamp) plus one commit (chunk CSV + JSON
+  // written atomically, done record, lease drop) per iteration, with the
+  // solver replaced by precomputed results. The per-POINT overhead divides
+  // by the chunk size, which is why even a few-ms chunk cost vanishes next
+  // to real solves once chunks hold dozens of points.
+  for (const std::size_t chunk_size : {std::size_t{1}, std::size_t{16},
+                                       std::size_t{64}}) {
+    // One iteration inits a fresh queue and drains all 64 points through
+    // claim+commit, so items_per_second is protocol points/second at this
+    // chunk size.
+    cases.push_back(
+        {"queue_claim_commit/chunk=" + std::to_string(chunk_size),
+         chunk_size != 16, 64.0,
+         [chunk_size](std::map<std::string, double>& counters) {
+           namespace fs = std::filesystem;
+           static std::uint64_t run_id = 0;
+           const std::string dir =
+               (fs::temp_directory_path() /
+                ("esched_bench_queue." + std::to_string(++run_id)))
+                   .string();
+           // A 64-point sweep on the closed-form mmk backend; solved up
+           // front so the timed body measures the queue protocol.
+           static const auto fixture = [] {
+             Scenario scenario;
+             scenario.name = "bench-queue";
+             scenario.k_values = {4};
+             scenario.rho_values = {0.9};
+             for (int n = 1; n < 64; ++n) {
+               scenario.mu_i_values.push_back(0.5 + 0.01 * n);
+             }
+             scenario.policies = {"IF"};
+             scenario.solvers = {SolverKind::kMmkBaseline};
+             LoadedSweep sweep;
+             sweep.scenarios = {scenario};
+             sweep.grids = {scenario.expand()};
+             sweep.scenario_size_dist = {false};
+             sweep.total_points = sweep.grids.front().size();
+             std::vector<RunResult> results;
+             for (const RunPoint& point : sweep.concatenated()) {
+               results.push_back(dispatch_run(point));
+             }
+             return std::make_pair(sweep, results);
+           }();
+           const LoadedSweep& sweep = fixture.first;
+           const std::vector<RunPoint> points = sweep.concatenated();
+           const std::vector<RunResult>& results = fixture.second;
+           fs::remove_all(dir);
+           WorkQueue queue = WorkQueue::init(dir, sweep, chunk_size);
+           SweepStats stats;
+           stats.total_points = chunk_size;
+           std::size_t chunks = 0;
+           for (const ChunkTask& task : queue.pending_tasks()) {
+             if (!queue.claim(task, "bench")) continue;
+             const std::vector<RunPoint> slice(
+                 points.begin() + static_cast<std::ptrdiff_t>(task.begin),
+                 points.begin() + static_cast<std::ptrdiff_t>(task.end));
+             const std::vector<RunResult> slice_results(
+                 results.begin() + static_cast<std::ptrdiff_t>(task.begin),
+                 results.begin() + static_cast<std::ptrdiff_t>(task.end));
+             queue.commit(task, "bench", slice, slice_results, stats);
+             ++chunks;
+           }
+           counters["chunks"] = static_cast<double>(chunks);
+           counters["points"] = static_cast<double>(points.size());
+           fs::remove_all(dir);
+         }});
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Validation: the schema contract CI enforces on every emitted snapshot.
+// Self-contained (the harness validates its own output format), so CI
+// needs no extra tooling.
+
+void validate_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ESCHED_CHECK(in.good(), "cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = parse_json(buffer.str(), path);
+
+  const JsonValue* format = root.find("format");
+  ESCHED_CHECK(format != nullptr &&
+                   format->as_string("format") == kBenchFormat,
+               path + ": missing or wrong \"format\" tag (expected \"" +
+                   kBenchFormat + "\")");
+  const JsonValue* version = root.find("schema_version");
+  ESCHED_CHECK(version != nullptr &&
+                   version->as_integer("schema_version", 1, 1000000) ==
+                       kBenchSchemaVersion,
+               path + ": unsupported schema_version (this build knows " +
+                   std::to_string(kBenchSchemaVersion) + ")");
+  const JsonValue* mode = root.find("mode");
+  ESCHED_CHECK(mode != nullptr && (mode->as_string("mode") == "full" ||
+                                   mode->as_string("mode") == "smoke"),
+               path + ": \"mode\" must be \"full\" or \"smoke\"");
+  const JsonValue* host = root.find("host");
+  ESCHED_CHECK(host != nullptr && host->is_object(),
+               path + ": missing \"host\" object");
+  for (const char* key : {"hostname", "compiler"}) {
+    ESCHED_CHECK(host->find(key) != nullptr,
+                 path + ": host lacks \"" + key + "\"");
+  }
+  const JsonValue* benchmarks = root.find("benchmarks");
+  ESCHED_CHECK(benchmarks != nullptr && benchmarks->is_array() &&
+                   !benchmarks->as_array("benchmarks").empty(),
+               path + ": missing or empty \"benchmarks\" array");
+  for (const JsonValue& entry : benchmarks->as_array("benchmarks")) {
+    const std::string name =
+        entry.find("name") != nullptr
+            ? entry.find("name")->as_string("benchmarks[].name")
+            : "";
+    ESCHED_CHECK(!name.empty(), path + ": benchmark entry lacks \"name\"");
+    const std::string where = path + ": " + name;
+    ESCHED_CHECK(entry.find("iterations") != nullptr &&
+                     entry.find("iterations")->as_integer(
+                         where + ".iterations", 1, 1000000000) >= 1,
+                 where + ": iterations must be >= 1");
+    double last = 0.0;
+    for (const char* key : {"min_seconds", "p50_seconds", "p90_seconds",
+                            "p99_seconds", "max_seconds"}) {
+      const JsonValue* v = entry.find(key);
+      ESCHED_CHECK(v != nullptr, where + ": missing \"" + key + "\"");
+      const double value = v->as_number(where + "." + key);
+      ESCHED_CHECK(value >= 0.0, where + ": " + key + " is negative");
+      ESCHED_CHECK(value + 1e-12 >= last,
+                   where + ": " + key + " is not monotone with the "
+                   "preceding percentile");
+      last = value;
+    }
+    ESCHED_CHECK(entry.find("mean_seconds") != nullptr &&
+                     entry.find("mean_seconds")->as_number(
+                         where + ".mean_seconds") >= 0.0,
+                 where + ": missing mean_seconds");
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--smoke] [--filter SUBSTR] "
+               "[--min-time SECONDS] [--list]\n"
+               "       %s --validate PATH\n",
+               argv0, argv0);
+  return 2;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  std::string filter;
+  std::string validate_path;
+  bool smoke = false;
+  bool list = false;
+  double min_time = 0.2;
+  for (int n = 1; n < argc; ++n) {
+    const std::string arg = argv[n];
+    const auto next = [&]() -> const char* {
+      if (n + 1 >= argc) return nullptr;
+      return argv[++n];
+    };
+    if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      out_path = value;
+    } else if (arg == "--filter") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      filter = value;
+    } else if (arg == "--validate") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      validate_path = value;
+    } else if (arg == "--min-time") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      min_time = std::atof(value);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!validate_path.empty()) {
+      validate_snapshot(validate_path);
+      std::printf("%s: valid %s snapshot (schema_version %d)\n",
+                  validate_path.c_str(), kBenchFormat, kBenchSchemaVersion);
+      return 0;
+    }
+
+    const std::vector<BenchCase> cases = build_cases();
+    if (list) {
+      for (const BenchCase& bench : cases) {
+        std::printf("%s%s\n", bench.name.c_str(),
+                    bench.full_only ? " (full only)" : "");
+      }
+      return 0;
+    }
+
+    JsonValue root = JsonValue::make_object();
+    root.set("format", JsonValue::make_string(kBenchFormat));
+    root.set("schema_version",
+             JsonValue::make_number(static_cast<double>(kBenchSchemaVersion)));
+    root.set("mode", JsonValue::make_string(smoke ? "smoke" : "full"));
+    root.set("min_time_seconds",
+             JsonValue::make_number(smoke ? 0.0 : min_time));
+    root.set("host", host_info());
+    JsonValue benchmarks = JsonValue::make_array();
+    for (const BenchCase& bench : cases) {
+      if (smoke && bench.full_only) continue;
+      if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+        continue;
+      }
+      const BenchResult result = run_case(bench, smoke ? 0.0 : min_time);
+      double sum = 0.0;
+      for (const double s : result.samples) sum += s;
+      std::fprintf(stderr, "%-32s %6zu iters  mean %.6f s\n",
+                   result.name.c_str(), result.samples.size(),
+                   sum / static_cast<double>(result.samples.size()));
+      benchmarks.push_back(result_to_json(result));
+    }
+    ESCHED_CHECK(!benchmarks.as_array("benchmarks").empty(),
+                 filter.empty() ? "no benchmark cases registered"
+                                : "--filter '" + filter +
+                                      "' matched no benchmark case");
+    root.set("benchmarks", std::move(benchmarks));
+    atomic_write_file(out_path, root.dump() + "\n");
+    std::printf("wrote %s (%s mode)\n", out_path.c_str(),
+                smoke ? "smoke" : "full");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_perf_solvers: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,6 +14,8 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "engine/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace esched {
 
@@ -22,6 +24,33 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kManifestFormat = "esched-queue-v1";
+
+/// Queue-protocol observability handles, resolved once per process.
+struct DistMetrics {
+  Counter& claimed;               ///< dist.lease.claimed
+  Counter& claim_lost;            ///< dist.lease.claim_lost (lost races)
+  Counter& requeued;              ///< dist.lease.requeued (expired leases)
+  Counter& heartbeats;            ///< dist.heartbeats
+  Counter& committed;             ///< dist.chunks.committed
+  Counter& failed;                ///< dist.chunks.failed
+  LogHistogram& claim_seconds;    ///< dist.claim.seconds
+  LogHistogram& commit_seconds;   ///< dist.commit.seconds
+};
+
+DistMetrics& dist_metrics() {
+  static DistMetrics metrics = [] {
+    MetricsRegistry& m = global_metrics();
+    return DistMetrics{m.counter("dist.lease.claimed"),
+                       m.counter("dist.lease.claim_lost"),
+                       m.counter("dist.lease.requeued"),
+                       m.counter("dist.heartbeats"),
+                       m.counter("dist.chunks.committed"),
+                       m.counter("dist.chunks.failed"),
+                       m.histogram("dist.claim.seconds"),
+                       m.histogram("dist.commit.seconds")};
+  }();
+  return metrics;
+}
 
 std::string chunk_file_name(std::size_t chunk) {
   // Zero-padded so lexical directory order equals chunk order; the parse
@@ -268,6 +297,7 @@ std::vector<LeaseInfo> WorkQueue::leases() const {
 std::vector<ChunkRecord> WorkQueue::completed() const {
   std::vector<ChunkRecord> records;
   std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
   for (fs::directory_iterator it(directory_ + "/done", ec), end;
        !ec && it != end; it.increment(ec)) {
     const std::string name = it->path().filename().string();
@@ -279,6 +309,12 @@ std::vector<ChunkRecord> WorkQueue::completed() const {
       const JsonValue root = parse_json(*text, "done");
       ChunkRecord record;
       record.chunk = *chunk;
+      std::error_code age_ec;
+      const auto mtime = fs::last_write_time(it->path(), age_ec);
+      if (!age_ec) {
+        record.age_seconds = std::max(
+            0.0, std::chrono::duration<double>(now - mtime).count());
+      }
       const JsonValue* begin = root.find("begin");
       const JsonValue* end_v = root.find("end");
       const JsonValue* rows = root.find("rows");
@@ -350,6 +386,12 @@ void WorkQueue::record_failure(const ChunkTask& task, const std::string& owner,
   record.set("owner", JsonValue::make_string(owner));
   record.set("error", JsonValue::make_string(error));
   atomic_write_file(failed_path(task.chunk), record.dump() + "\n");
+  dist_metrics().failed.add();
+  if (TraceWriter* t = global_trace()) {
+    t->event("chunk_failed", {{"chunk", task.chunk},
+                              {"owner", owner},
+                              {"error", error}});
+  }
   // Drop the lease WITHOUT requeueing: the engine's solves are
   // deterministic, so every retry of this chunk would fail identically —
   // cycling it through the fleet would just crash worker after worker.
@@ -423,6 +465,8 @@ LightCounts WorkQueue::light_counts() const {
 }
 
 bool WorkQueue::claim(const ChunkTask& task, const std::string& owner) const {
+  DistMetrics& metrics = dist_metrics();
+  const ScopedTimer timer(metrics.claim_seconds);
   // Freshen the task BEFORE the claiming rename: rename preserves mtime,
   // so a task that sat queued longer than the TTL (queue init'd Friday,
   // workers started Monday) would otherwise become a lease that a
@@ -430,16 +474,22 @@ bool WorkQueue::claim(const ChunkTask& task, const std::string& owner) const {
   // first heartbeat — leaving the chunk pending AND leased at once.
   touch_heartbeat(task_path(task.chunk));
   if (!atomic_move(task_path(task.chunk), lease_path(task.chunk))) {
+    metrics.claim_lost.add();
     return false;  // lost the race
   }
   // Stamp the owner (also refreshing the heartbeat). The rewrite is
   // atomic, so a concurrent scan sees either the bare task body or the
   // stamped one, never a torn line.
   atomic_write_file(lease_path(task.chunk), task_json(task, owner));
+  metrics.claimed.add();
+  if (TraceWriter* t = global_trace()) {
+    t->event("lease_claim", {{"chunk", task.chunk}, {"owner", owner}});
+  }
   return true;
 }
 
 bool WorkQueue::heartbeat(std::size_t chunk) const {
+  dist_metrics().heartbeats.add();
   return touch_heartbeat(lease_path(chunk));
 }
 
@@ -460,6 +510,11 @@ std::size_t WorkQueue::reclaim_expired(double lease_ttl_seconds) const {
       // before claim()'s own touch lands.
       touch_heartbeat(task_path(lease.chunk));
       ++requeued;
+      dist_metrics().requeued.add();
+      if (TraceWriter* t = global_trace()) {
+        t->event("lease_requeue",
+                 {{"chunk", lease.chunk}, {"owner", lease.owner}});
+      }
     }
   }
   return requeued;
@@ -501,6 +556,8 @@ void WorkQueue::commit(const ChunkTask& task, const std::string& owner,
   ESCHED_CHECK(points.size() == task.end - task.begin &&
                    points.size() == results.size(),
                "chunk commit size mismatch");
+  DistMetrics& metrics = dist_metrics();
+  const ScopedTimer timer(metrics.commit_seconds, &metrics.committed);
   // Result files first (each temp + atomic rename, so a torn chunk CSV
   // can never sit under the final name), then the done marker, then the
   // lease. Dying between any two steps is recoverable: the lease expires
@@ -528,6 +585,12 @@ void WorkQueue::commit(const ChunkTask& task, const std::string& owner,
 
   std::error_code ec;
   fs::remove(lease_path(task.chunk), ec);  // best-effort; expiry cleans up
+  if (TraceWriter* t = global_trace()) {
+    t->event("chunk_commit", {{"chunk", task.chunk},
+                              {"owner", owner},
+                              {"rows", points.size()},
+                              {"seconds", stats.wall_seconds}});
+  }
 }
 
 const std::vector<RunPoint>& WorkQueue::expanded_points() {

@@ -89,6 +89,10 @@ struct ChunkRecord {
   std::size_t rows = 0;
   std::string owner;
   double solve_seconds = 0.0;  ///< the committing worker's solve wall time
+  /// Age of the done record (now - its mtime) at scan time: how long ago
+  /// the chunk committed. What `esched status --watch` computes rolling
+  /// throughput and ETA from.
+  double age_seconds = 0.0;
 };
 
 /// A chunk's terminal-failure marker (Q/failed/chunk-N.json).

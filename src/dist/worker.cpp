@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <ostream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -13,8 +14,23 @@
 #include "dist/work_queue.hpp"
 #include "engine/report.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/trace.hpp"
 
 namespace esched {
+
+namespace {
+
+/// Worker log lines go to a stream shared with the runner's progress
+/// callback and, under a multi-process fleet, with sibling workers'
+/// stderr: assemble each line fully and emit it with ONE insertion so
+/// concurrent writers cannot interleave torn lines.
+void log_line(std::ostream* log, const std::string& line) {
+  if (log == nullptr) return;
+  *log << line + "\n";
+  log->flush();
+}
+
+}  // namespace
 
 std::string default_worker_owner() {
   std::string host = "worker";
@@ -70,6 +86,11 @@ WorkerSummary run_worker(const std::string& queue_dir,
   const std::string owner =
       options.owner.empty() ? default_worker_owner() : options.owner;
   queue.expanded_points();  // expand (and validate) once, before claiming
+  if (TraceWriter* t = global_trace()) {
+    t->event("worker_start",
+             {{"owner", owner}, {"queue", queue_dir},
+              {"chunks", manifest.num_chunks}});
+  }
 
   queue.sweep_stale_tmp();  // crashed writers' orphans, once per startup
 
@@ -119,10 +140,9 @@ WorkerSummary run_worker(const std::string& queue_dir,
       claimed = true;
       if (options.abandon) {
         ++summary.chunks_abandoned;
-        if (log != nullptr) {
-          *log << "worker " << owner << ": abandoned chunk " << task.chunk
-               << " (lease left to expire)" << std::endl;
-        }
+        log_line(log, "worker " + owner + ": abandoned chunk " +
+                          std::to_string(task.chunk) +
+                          " (lease left to expire)");
         // Rescan via the outer loop; its max_chunks check ends the run
         // once enough leases are wedged (one by default).
         break;
@@ -136,18 +156,16 @@ WorkerSummary run_worker(const std::string& queue_dir,
         // and collect surface the recorded error.
         queue.record_failure(task, owner, e.what());
         ++summary.chunks_failed;
-        if (log != nullptr) {
-          *log << "worker " << owner << ": chunk " << task.chunk
-               << " FAILED permanently: " << e.what() << std::endl;
-        }
+        log_line(log, "worker " + owner + ": chunk " +
+                          std::to_string(task.chunk) +
+                          " FAILED permanently: " + e.what());
         continue;
       }
       ++summary.chunks_solved;
       summary.points_solved += task.end - task.begin;
-      if (log != nullptr) {
-        *log << "worker " << owner << ": chunk " << task.chunk << " done ("
-             << task.end - task.begin << " points)" << std::endl;
-      }
+      log_line(log, "worker " + owner + ": chunk " +
+                        std::to_string(task.chunk) + " done (" +
+                        std::to_string(task.end - task.begin) + " points)");
     }
     if (claimed) {
       broken_scans = 0;
@@ -182,14 +200,22 @@ WorkerSummary run_worker(const std::string& queue_dir,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   if (log != nullptr) {
-    *log << "worker " << owner << ": " << summary.chunks_solved
+    std::ostringstream line;
+    line << "worker " << owner << ": " << summary.chunks_solved
          << " chunks solved (" << summary.points_solved << " points), "
          << summary.chunks_requeued << " requeued";
     if (summary.queue_failed > 0) {
-      *log << ", " << summary.queue_failed << " failed on the queue";
+      line << ", " << summary.queue_failed << " failed on the queue";
     }
-    *log << (summary.queue_drained ? ", queue drained" : "") << " in "
-         << summary.wall_seconds << " s" << std::endl;
+    line << (summary.queue_drained ? ", queue drained" : "") << " in "
+         << summary.wall_seconds << " s";
+    log_line(log, line.str());
+  }
+  if (TraceWriter* t = global_trace()) {
+    t->event("worker_done", {{"owner", owner},
+                             {"chunks", summary.chunks_solved},
+                             {"points", summary.points_solved},
+                             {"seconds", summary.wall_seconds}});
   }
   return summary;
 }

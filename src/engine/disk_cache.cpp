@@ -16,12 +16,39 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "obs/metrics.hpp"
 
 namespace esched {
 
 namespace {
 
 constexpr const char* kFormatTag = "esched-cache-v1";
+
+/// Disk-cache observability handles, resolved once so load/store stay off
+/// the registry mutex.
+struct CacheMetrics {
+  Counter& hits;                ///< cache.disk.hits
+  Counter& misses;              ///< cache.disk.misses
+  Counter& stores;              ///< cache.disk.stores
+  Counter& gc_removed;          ///< cache.disk.gc.removed
+  LogHistogram& load_seconds;   ///< cache.disk.load.seconds
+  LogHistogram& store_seconds;  ///< cache.disk.store.seconds
+  LogHistogram& gc_seconds;     ///< cache.disk.gc.seconds
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics = [] {
+    MetricsRegistry& m = global_metrics();
+    return CacheMetrics{m.counter("cache.disk.hits"),
+                        m.counter("cache.disk.misses"),
+                        m.counter("cache.disk.stores"),
+                        m.counter("cache.disk.gc.removed"),
+                        m.histogram("cache.disk.load.seconds"),
+                        m.histogram("cache.disk.store.seconds"),
+                        m.histogram("cache.disk.gc.seconds")};
+  }();
+  return metrics;
+}
 
 std::string hex_fnv1a(const std::string& text) {
   char buf[20];
@@ -152,19 +179,30 @@ std::string DiskResultCache::entry_path(const std::string& key) const {
 }
 
 std::optional<RunResult> DiskResultCache::load(const std::string& key) const {
+  CacheMetrics& metrics = cache_metrics();
+  const ScopedTimer timer(metrics.load_seconds);
+  const auto miss = [&] {
+    metrics.misses.add();
+    return std::nullopt;
+  };
   std::ifstream in(entry_path(key));
-  if (!in.good()) return std::nullopt;
+  if (!in.good()) return miss();
   std::string first_line;
   if (!std::getline(in, first_line) || first_line != "key " + key) {
-    return std::nullopt;  // hash collision or foreign file: miss
+    return miss();  // hash collision or foreign file: miss
   }
   std::stringstream rest;
   rest << in.rdbuf();
-  return deserialize_run_result(rest.str());
+  auto result = deserialize_run_result(rest.str());
+  if (!result.has_value()) return miss();
+  metrics.hits.add();
+  return result;
 }
 
 void DiskResultCache::store(const std::string& key,
                             const RunResult& result) const {
+  CacheMetrics& metrics = cache_metrics();
+  const ScopedTimer timer(metrics.store_seconds, &metrics.stores);
   // Unique temp name per store (pid + in-process counter), then atomic
   // rename: concurrent shard processes may race on the same key and either
   // complete file wins.
@@ -231,6 +269,8 @@ std::vector<CacheEntryInfo> DiskResultCache::list_entries(
 
 CacheGcResult DiskResultCache::gc(std::optional<double> max_age_seconds,
                                   std::optional<std::uintmax_t> max_bytes) const {
+  CacheMetrics& metrics = cache_metrics();
+  const ScopedTimer timer(metrics.gc_seconds);
   namespace fs = std::filesystem;
   std::error_code ec;
   // Orphaned temp files (a writer died between open and rename) are
@@ -264,6 +304,7 @@ CacheGcResult DiskResultCache::gc(std::optional<double> max_age_seconds,
     std::error_code remove_ec;
     if (!fs::remove(entry.path, remove_ec) || remove_ec) continue;
     ++result.removed;
+    metrics.gc_removed.add();
     result.bytes_removed += entry.bytes;
     total -= entry.bytes;
   }

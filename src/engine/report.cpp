@@ -359,7 +359,7 @@ MergeStats merge_json_reports(const std::vector<std::string>& inputs,
   bool have_keys = false;
   bool any_stats = false;
   double total_points = 0, solved_points = 0, cache_hits = 0, disk_hits = 0;
-  double threads = 0, wall_seconds = 0;
+  double threads = 0, wall_seconds = 0, solve_seconds = 0;
   MergeStats stats;
   for (const std::string& input : inputs) {
     std::ifstream in(input, std::ios::binary);
@@ -413,6 +413,7 @@ MergeStats merge_json_reports(const std::vector<std::string>& inputs,
       add("cache_hits", cache_hits);
       add("disk_hits", disk_hits);
       add("wall_seconds", wall_seconds);
+      add("solve_seconds", solve_seconds);
       if (const JsonValue* v = s->find("threads")) {
         threads = std::max(threads, v->as_number(where + ".threads"));
       }
@@ -439,7 +440,8 @@ MergeStats merge_json_reports(const std::vector<std::string>& inputs,
           << ", \"cache_hits\": " << static_cast<long long>(cache_hits)
           << ", \"disk_hits\": " << static_cast<long long>(disk_hits)
           << ", \"threads\": " << static_cast<long long>(threads)
-          << ", \"wall_seconds\": " << format_double(wall_seconds) << "}";
+          << ", \"wall_seconds\": " << format_double(wall_seconds)
+          << ", \"solve_seconds\": " << format_double(solve_seconds) << "}";
     }
     out << "\n}\n";
     if (!out.good()) {
@@ -458,12 +460,20 @@ RowCallback progress_callback(std::size_t total, std::ostream& os,
   // hand in std::cerr or a stream they outlive the sweep with.
   return [total, offset, &os](std::size_t index, const RunPoint& point,
                               const RunResult& result) {
-    os << "row " << (offset + index + 1) << "/" << total << " "
-       << solver_name(point.solver) << " " << point.policy
-       << " k=" << point.params.k
-       << " rho=" << format_double(point.params.rho())
-       << " et=" << format_double(result.mean_response_time) << " ("
-       << format_double(result.solve_seconds, 3) << " s)" << std::endl;
+    // Assemble the whole line first and write it with ONE stream
+    // insertion: `os` is usually std::cerr shared with other threads and
+    // processes (dist workers), and a multi-insertion sequence can
+    // interleave into torn lines. One insertion of a complete
+    // newline-terminated string keeps lines atomic in practice.
+    std::ostringstream line;
+    line << "row " << (offset + index + 1) << "/" << total << " "
+         << solver_name(point.solver) << " " << point.policy
+         << " k=" << point.params.k
+         << " rho=" << format_double(point.params.rho())
+         << " et=" << format_double(result.mean_response_time) << " ("
+         << format_double(result.solve_seconds, 3) << " s)\n";
+    os << line.str();
+    os.flush();
   };
 }
 
@@ -505,7 +515,8 @@ void write_json_report(const std::string& path,
         << ", \"disk_hits\": " << stats->disk_hits
         << ", \"threads\": " << stats->threads_used
         << ", \"wall_seconds\": " << format_double(stats->wall_seconds)
-        << "}";
+        << ", \"solve_seconds\": "
+        << format_double(stats->solve_seconds_total) << "}";
   }
   out << "\n}\n";
   ESCHED_CHECK(out.good(), "error writing '" + path + "'");

@@ -1,10 +1,12 @@
 #include "engine/solver_dispatch.hpp"
 
+#include <array>
 #include <chrono>
 #include <optional>
 
 #include "common/error.hpp"
 #include "core/ef_analysis.hpp"
+#include "obs/metrics.hpp"
 #include "core/exact_ctmc.hpp"
 #include "core/if_analysis.hpp"
 #include "core/policies.hpp"
@@ -24,11 +26,44 @@ double seconds_since(const Clock::time_point& start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Per-backend observability handles, resolved once per backend so the
+/// per-solve updates are lock-free (registry lookup takes a mutex).
+struct BackendMetrics {
+  Counter& points;        ///< solver.<name>.points
+  Counter& errors;        ///< solver.<name>.errors
+  LogHistogram& seconds;  ///< solver.<name>.seconds — per-point solve time
+  LogHistogram& states;   ///< solver.<name>.states — CTMC state counts
+};
+
+BackendMetrics& backend_metrics(SolverKind kind) {
+  static const auto make = [](const char* name) {
+    MetricsRegistry& m = global_metrics();
+    const std::string prefix = std::string("solver.") + name;
+    return BackendMetrics{m.counter(prefix + ".points"),
+                          m.counter(prefix + ".errors"),
+                          m.histogram(prefix + ".seconds"),
+                          m.histogram(prefix + ".states")};
+  };
+  // Indexed by SolverKind; order must match the enum.
+  static std::array<BackendMetrics, 5> metrics = {
+      make("qbd"), make("exact"), make("sim"), make("mmk"), make("trace")};
+  return metrics[static_cast<std::size_t>(kind)];
+}
+
+/// Named-rejection counter: solver.<name>.reject.<reason> distinguishes
+/// "spec asked this backend for something it cannot do" from real errors.
+void count_rejection(const char* solver, const char* reason) {
+  global_metrics()
+      .counter(std::string("solver.") + solver + ".reject." + reason)
+      .add();
+}
+
 /// Solvers built on the Exp(mu) model reject non-exponential size specs,
 /// naming the offending option so a spec author knows what to change.
 void require_exponential_sizes(const RunPoint& point, const char* solver) {
   const auto reject = [&](const char* option, const SizeDistSpec& spec) {
     if (spec.is_exponential()) return;
+    count_rejection(solver, "size_dist");
     throw Error(std::string("solver '") + solver +
                 "' supports only exponential job sizes, but option '" +
                 option + "' is '" + spec.canonical() +
@@ -49,6 +84,7 @@ RunResult run_qbd_analysis(const RunPoint& point) {
   } else if (point.policy == "IF") {
     analysis = analyze_inelastic_first(point.params, point.options.fit_order);
   } else {
+    count_rejection("qbd", "policy");
     throw Error("solver 'qbd' analyzes only IF and EF, not '" + point.policy +
                 "'; use solver 'exact' or 'sim' for other policies");
   }
@@ -93,6 +129,7 @@ RunResult run_exact_ctmc(const RunPoint& point) {
   // service rate relies on memorylessness. Inelastic sizes may be any
   // (small) phase type via the augmented chain.
   if (!point.options.size_dist_e.is_exponential()) {
+    count_rejection("exact", "size_dist");
     throw Error("solver 'exact' supports phase-type sizes for the "
                 "inelastic class only, but option 'size_dist_e' is '" +
                 point.options.size_dist_e.canonical() +
@@ -224,18 +261,29 @@ RunResult run_trace_dominance(const RunPoint& point) {
 
 RunResult dispatch_run(const RunPoint& point) {
   point.params.validate();
+  BackendMetrics& metrics = backend_metrics(point.solver);
   const auto start = Clock::now();
   RunResult result;
-  switch (point.solver) {
-    case SolverKind::kQbdAnalysis: result = run_qbd_analysis(point); break;
-    case SolverKind::kExactCtmc: result = run_exact_ctmc(point); break;
-    case SolverKind::kSimulation: result = run_simulation(point); break;
-    case SolverKind::kMmkBaseline: result = run_mmk_baseline(point); break;
-    case SolverKind::kTraceDominance:
-      result = run_trace_dominance(point);
-      break;
+  try {
+    switch (point.solver) {
+      case SolverKind::kQbdAnalysis: result = run_qbd_analysis(point); break;
+      case SolverKind::kExactCtmc: result = run_exact_ctmc(point); break;
+      case SolverKind::kSimulation: result = run_simulation(point); break;
+      case SolverKind::kMmkBaseline: result = run_mmk_baseline(point); break;
+      case SolverKind::kTraceDominance:
+        result = run_trace_dominance(point);
+        break;
+    }
+  } catch (...) {
+    metrics.errors.add();
+    throw;
   }
   result.solve_seconds = seconds_since(start);
+  metrics.points.add();
+  metrics.seconds.record(result.solve_seconds);
+  if (result.num_states > 0) {
+    metrics.states.record(static_cast<double>(result.num_states));
+  }
   return result;
 }
 
@@ -264,9 +312,21 @@ ExactGroupSolver::ExactGroupSolver(const RunPoint& representative)
 RunResult ExactGroupSolver::solve(const RunPoint& point) const {
   ESCHED_CHECK(exact_topology_key(point) == topology_key_,
                "exact group mixes chain topologies");
+  BackendMetrics& metrics = backend_metrics(SolverKind::kExactCtmc);
   const auto start = Clock::now();
-  RunResult result = exact_to_run_result(batch_.solve(*make_policy(point.policy)));
+  RunResult result;
+  try {
+    result = exact_to_run_result(batch_.solve(*make_policy(point.policy)));
+  } catch (...) {
+    metrics.errors.add();
+    throw;
+  }
   result.solve_seconds = seconds_since(start);
+  metrics.points.add();
+  metrics.seconds.record(result.solve_seconds);
+  if (result.num_states > 0) {
+    metrics.states.record(static_cast<double>(result.num_states));
+  }
   return result;
 }
 

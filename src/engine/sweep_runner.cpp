@@ -6,8 +6,57 @@
 
 #include "common/error.hpp"
 #include "engine/disk_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace esched {
+
+namespace {
+
+/// Sweep-level observability handles, resolved once (registry lookups
+/// take a mutex; these updates must stay off the workers' lock path).
+struct RunnerMetrics {
+  Counter& points_total;       ///< sweep.points.total
+  Counter& points_solved;      ///< sweep.points.solved (fresh solves)
+  Counter& points_failed;      ///< sweep.points.failed
+  Counter& memo_hits;          ///< sweep.memo.hits
+  Counter& disk_hits;          ///< sweep.disk.hits
+  Counter& dup_points;         ///< sweep.dup.points (intra-call repeats)
+  LogHistogram& point_seconds; ///< sweep.point.seconds (all backends)
+  LogHistogram& queue_wait;    ///< sweep.queue_wait.seconds
+  LogHistogram& utilization;   ///< sweep.thread.utilization (busy fraction)
+  LogHistogram& run_seconds;   ///< sweep.run.seconds (per run() call)
+};
+
+RunnerMetrics& runner_metrics() {
+  static RunnerMetrics metrics = [] {
+    MetricsRegistry& m = global_metrics();
+    return RunnerMetrics{m.counter("sweep.points.total"),
+                         m.counter("sweep.points.solved"),
+                         m.counter("sweep.points.failed"),
+                         m.counter("sweep.memo.hits"),
+                         m.counter("sweep.disk.hits"),
+                         m.counter("sweep.dup.points"),
+                         m.histogram("sweep.point.seconds"),
+                         m.histogram("sweep.queue_wait.seconds"),
+                         m.histogram("sweep.thread.utilization"),
+                         m.histogram("sweep.run.seconds")};
+  }();
+  return metrics;
+}
+
+/// The copy of a result handed to callers for cache-served points: honest
+/// provenance (from_cache) and ~zero cost (solve_seconds), so ETA and
+/// cache-effectiveness arithmetic downstream never double-counts the
+/// original solve's wall time. The caches themselves keep real timings.
+RunResult cached_copy(const RunResult& result) {
+  RunResult copy = result;
+  copy.from_cache = true;
+  copy.solve_seconds = 0.0;
+  return copy;
+}
+
+}  // namespace
 
 std::optional<RunResult> ResultCache::lookup(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -49,12 +98,25 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
                                         SweepStats* stats,
                                         const RowCallback& on_row) {
   const auto start = std::chrono::steady_clock::now();
+  const auto seconds_since_start = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  RunnerMetrics& metrics = runner_metrics();
+  metrics.points_total.add(points.size());
+  if (TraceWriter* t = global_trace()) {
+    t->event("sweep_start",
+             {{"points", points.size()}, {"threads", num_threads_}});
+  }
 
   // Deduplicate: first occurrence of each uncached key becomes a job, so a
   // point repeated across figure axes solves exactly once. Memory misses
   // consult the disk cache before becoming jobs. Points resolvable right
-  // now (memo/disk hits) fire on_row immediately; the rest register as
-  // waiters on their key and fire when the one solve of that key lands.
+  // now (memo/disk hits) fire on_row immediately — delivered as
+  // cached_copy, since their solve cost was paid earlier — while the rest
+  // register as waiters on their key and fire when the one solve of that
+  // key lands.
   std::vector<std::string> keys;
   keys.reserve(points.size());
   std::vector<std::size_t> jobs;  // indices into `points` to solve now
@@ -64,18 +126,27 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
   for (std::size_t n = 0; n < points.size(); ++n) {
     keys.push_back(points[n].cache_key());
     if (seen.count(keys.back()) != 0) {
+      metrics.dup_points.add();
       if (on_row != nullptr) waiters[keys.back()].push_back(n);
       continue;
     }
     if (auto memoized = cache_.lookup(keys.back())) {
-      if (on_row != nullptr) on_row(n, points[n], *memoized);
+      metrics.memo_hits.add();
+      if (TraceWriter* t = global_trace()) {
+        t->event("cache_hit", {{"index", n}});
+      }
+      if (on_row != nullptr) on_row(n, points[n], cached_copy(*memoized));
       continue;
     }
     if (disk_cache_ != nullptr) {
       if (auto loaded = disk_cache_->load(keys.back())) {
         cache_.insert(keys.back(), *loaded);
         ++disk_hits;
-        if (on_row != nullptr) on_row(n, points[n], *loaded);
+        metrics.disk_hits.add();
+        if (TraceWriter* t = global_trace()) {
+          t->event("disk_hit", {{"index", n}});
+        }
+        if (on_row != nullptr) on_row(n, points[n], cached_copy(*loaded));
         continue;
       }
     }
@@ -112,6 +183,10 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
   std::mutex error_mutex;
   std::string first_error;
   const auto record_error = [&](const std::string& key, const char* what) {
+    metrics.points_failed.add();
+    if (TraceWriter* t = global_trace()) {
+      t->event("point_error", {{"key", key}, {"error", what}});
+    }
     std::lock_guard<std::mutex> lock(error_mutex);
     if (first_error.empty()) {
       first_error = "sweep point '" + key + "' failed: " + what;
@@ -122,6 +197,15 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
   const auto store = [&](std::size_t n, const RunResult& result) {
     cache_.insert(keys[n], result);
     if (disk_cache_ != nullptr) disk_cache_->store(keys[n], result);
+    metrics.points_solved.add();
+    metrics.point_seconds.record(result.solve_seconds);
+    if (TraceWriter* t = global_trace()) {
+      t->event("point_done",
+               {{"index", n},
+                {"solver", solver_name(points[n].solver)},
+                {"policy", points[n].policy},
+                {"seconds", result.solve_seconds}});
+    }
     if (on_row == nullptr) return;
     // Deliver to every input index waiting on this key, serially: the
     // mutex both orders concurrent deliveries and publishes them, so the
@@ -129,11 +213,18 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
     // resume mismatch) fails the whole run with its own message — and
     // ends all further delivery, so a consumer that rejected one row is
     // never handed more — while workers keep solving into the caches.
+    // The solving index itself (always the first waiter) sees the fresh
+    // result; duplicate indices see a cached_copy, matching the
+    // provenance reported on the returned vector.
     std::lock_guard<std::mutex> lock(callback_mutex);
     if (callback_failed) return;
     try {
       for (const std::size_t waiter : waiters[keys[n]]) {
-        on_row(waiter, points[waiter], result);
+        if (waiter == n) {
+          on_row(waiter, points[waiter], result);
+        } else {
+          on_row(waiter, points[waiter], cached_copy(result));
+        }
       }
     } catch (const std::exception& e) {
       callback_failed = true;
@@ -144,9 +235,17 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
     }
   };
   const auto worker = [&] {
+    const auto thread_start = std::chrono::steady_clock::now();
+    double busy_seconds = 0.0;
+    bool worked = false;
     for (;;) {
       const std::size_t g = next_group.fetch_add(1);
-      if (g >= groups.size()) return;
+      if (g >= groups.size()) break;
+      // Time from run() start to pickup: how long this group sat queued
+      // behind other work.
+      metrics.queue_wait.record(seconds_since_start());
+      worked = true;
+      const auto group_start = std::chrono::steady_clock::now();
       const std::vector<std::size_t>& group = groups[g];
       if (group.size() == 1) {
         const std::size_t n = group.front();
@@ -155,24 +254,38 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
         } catch (const std::exception& e) {
           record_error(keys[n], e.what());
         }
-        continue;
-      }
-      // Shared-topology batch: build the chain skeleton once, then solve
-      // and store per point so one failing policy neither loses the
-      // others' results nor gets blamed on the wrong point. A skeleton
-      // construction failure (invalid params) is shared by every member.
-      try {
-        const ExactGroupSolver solver(points[group.front()]);
-        for (const std::size_t n : group) {
-          try {
-            store(n, solver.solve(points[n]));
-          } catch (const std::exception& e) {
-            record_error(keys[n], e.what());
+      } else {
+        // Shared-topology batch: build the chain skeleton once, then solve
+        // and store per point so one failing policy neither loses the
+        // others' results nor gets blamed on the wrong point. A skeleton
+        // construction failure (invalid params) is shared by every member.
+        try {
+          const ExactGroupSolver solver(points[group.front()]);
+          for (const std::size_t n : group) {
+            try {
+              store(n, solver.solve(points[n]));
+            } catch (const std::exception& e) {
+              record_error(keys[n], e.what());
+            }
           }
+        } catch (const std::exception& e) {
+          record_error(keys[group.front()], e.what());
         }
-      } catch (const std::exception& e) {
-        record_error(keys[group.front()], e.what());
       }
+      busy_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        group_start)
+              .count();
+    }
+    // Busy fraction of this worker's lifetime — only for threads that
+    // actually got work, so a late-starting thread on a drained queue
+    // does not drag the distribution toward zero.
+    if (worked) {
+      const double alive =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        thread_start)
+              .count();
+      metrics.utilization.record(alive > 0.0 ? busy_seconds / alive : 1.0);
     }
   };
   const int pool_size =
@@ -193,29 +306,44 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
   std::unordered_map<std::string, bool> solved_now;
   for (const std::size_t n : jobs) solved_now.emplace(keys[n], true);
   std::size_t cache_hits = 0;
+  double solve_seconds_total = 0.0;
   for (std::size_t n = 0; n < points.size(); ++n) {
     auto cached = cache_.lookup(keys[n]);
     ESCHED_ASSERT(cached.has_value(), "sweep result missing from cache");
     RunResult result = *cached;
     // The first solve of a point this call is fresh; everything else —
     // intra-call duplicates, prior-call results, disk loads — is a cache
-    // hit.
+    // hit, and reports ~zero solve_seconds: the cached entry's recorded
+    // time was paid by the original solve, and repeating it would inflate
+    // cache-effectiveness numbers and ETAs downstream.
     const auto it = solved_now.find(keys[n]);
     result.from_cache = it == solved_now.end() || !it->second;
     if (it != solved_now.end()) it->second = false;
-    if (result.from_cache) ++cache_hits;
+    if (result.from_cache) {
+      ++cache_hits;
+      result.solve_seconds = 0.0;
+    } else {
+      solve_seconds_total += result.solve_seconds;
+    }
     results.push_back(result);
   }
 
+  const double wall_seconds = seconds_since_start();
+  metrics.run_seconds.record(wall_seconds);
+  if (TraceWriter* t = global_trace()) {
+    t->event("sweep_done", {{"points", points.size()},
+                            {"solved", jobs.size()},
+                            {"cache_hits", cache_hits},
+                            {"wall_seconds", wall_seconds}});
+  }
   if (stats != nullptr) {
     stats->total_points = points.size();
     stats->solved_points = jobs.size();
     stats->cache_hits = cache_hits;
     stats->disk_hits = disk_hits;
     stats->threads_used = pool_size;
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    stats->wall_seconds = wall_seconds;
+    stats->solve_seconds_total = solve_seconds_total;
   }
   return results;
 }

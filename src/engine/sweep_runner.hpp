@@ -47,6 +47,10 @@ struct SweepStats {
   std::size_t cache_hits = 0;     ///< points served from the memo cache
   std::size_t disk_hits = 0;      ///< of cache_hits, loaded from --cache-dir
   double wall_seconds = 0.0;      ///< end-to-end wall time of run()
+  /// Summed wall time of the fresh solves only (cache hits contribute 0),
+  /// i.e. the compute this run would have cost single-threaded without a
+  /// cache — the honest numerator for cache-effectiveness and ETA math.
+  double solve_seconds_total = 0.0;
   int threads_used = 0;
 };
 
@@ -57,8 +61,11 @@ struct SweepStats {
 /// they arrive in completion order, not input order — streaming consumers
 /// reorder (see StreamingCsvReport). Cache/disk hits fire before any
 /// worker starts; duplicates of an in-flight point fire when that point's
-/// one solve lands. The RunResult passed here carries from_cache = false;
-/// per-call provenance is reported on the returned vector only.
+/// one solve lands. Provenance is honest per delivery: a freshly solved
+/// point arrives with from_cache = false and its real solve_seconds, while
+/// memo/disk hits and duplicates of an in-flight solve arrive with
+/// from_cache = true and solve_seconds = 0 (their cost was paid by the
+/// original solve), matching the returned vector.
 using RowCallback = std::function<void(
     std::size_t index, const RunPoint& point, const RunResult& result)>;
 
@@ -70,8 +77,9 @@ class SweepRunner {
   ~SweepRunner();
 
   /// Solves every point (consulting/filling the caches) and returns
-  /// results in input order. `from_cache` is set on results that were
-  /// memoized — including intra-call duplicates, which solve once. If any
+  /// results in input order. `from_cache` is set (and solve_seconds
+  /// zeroed) on results that were memoized — including intra-call
+  /// duplicates, which solve once. If any
   /// point's solve throws, the first error is re-thrown after all workers
   /// join; successfully solved points stay cached — and have already been
   /// delivered to `on_row`, which is what makes an interrupted streaming

@@ -1,0 +1,270 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/atomic_file.hpp"
+
+namespace esched {
+
+namespace obs_detail {
+
+std::size_t shard_index() {
+  // Round-robin assignment spreads threads evenly over shards; the mask
+  // needs kMetricShards to be a power of two.
+  static_assert((kMetricShards & (kMetricShards - 1)) == 0,
+                "kMetricShards must be a power of two");
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return slot;
+}
+
+void atomic_add(std::atomic<double>& value, double delta) {
+  double expected = value.load(std::memory_order_relaxed);
+  while (!value.compare_exchange_weak(expected, expected + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& value, double candidate) {
+  double expected = value.load(std::memory_order_relaxed);
+  while (candidate < expected &&
+         !value.compare_exchange_weak(expected, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& value, double candidate) {
+  double expected = value.load(std::memory_order_relaxed);
+  while (candidate > expected &&
+         !value.compare_exchange_weak(expected, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace obs_detail
+
+std::uint64_t Counter::total() const {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t histogram_bucket(double value) {
+  // ilogb(v) is the unbiased binary exponent: 2^e <= v < 2^(e+1). Shift by
+  // -kHistMinExp so the first representable bucket lands at index 0, then
+  // clamp: sub-range values (including 0 and any accidental negative)
+  // fall into bucket 0, overflow into the top bucket.
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  const long idx = static_cast<long>(std::ilogb(value)) - kHistMinExp;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kHistBuckets)) return kHistBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double histogram_bucket_lo(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b) + kHistMinExp);
+}
+
+double histogram_bucket_hi(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b) + kHistMinExp + 1);
+}
+
+void LogHistogram::record(double value) {
+  Shard& shard = shards_[obs_detail::shard_index()];
+  shard.buckets[histogram_bucket(value)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  obs_detail::atomic_add(shard.sum, value);
+  // First sample of a shard seeds min/max; count orders the check, which
+  // is safe because one thread always maps to one shard.
+  if (shard.count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    shard.min.store(value, std::memory_order_relaxed);
+    shard.max.store(value, std::memory_order_relaxed);
+  } else {
+    obs_detail::atomic_min(shard.min, value);
+    obs_detail::atomic_max(shard.max, value);
+  }
+}
+
+void LogHistogram::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+double LogHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank target, then linear interpolation across the bucket that
+  // contains it. Clamping to [min, max] keeps estimates inside the
+  // observed range even when a bucket is far wider than its samples.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= target) {
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      const double lo = histogram_bucket_lo(b);
+      const double hi = histogram_bucket_hi(b);
+      const double estimate = lo + frac * (hi - lo);
+      return std::min(max, std::max(min, estimate));
+    }
+    below += in_bucket;
+  }
+  return max;
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot out;
+  bool seeded = false;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t n = shard.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.count += n;
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    const double lo = shard.min.load(std::memory_order_relaxed);
+    const double hi = shard.max.load(std::memory_order_relaxed);
+    if (!seeded) {
+      out.min = lo;
+      out.max = hi;
+      seeded = true;
+    } else {
+      out.min = std::min(out.min, lo);
+      out.max = std::max(out.max, hi);
+    }
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      out.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue root = JsonValue::make_object();
+  root.set("schema_version",
+           JsonValue::make_number(static_cast<double>(kMetricsSchemaVersion)));
+  JsonValue counters_obj = JsonValue::make_object();
+  for (const auto& [name, value] : counters) {
+    counters_obj.set(name, JsonValue::make_number(static_cast<double>(value)));
+  }
+  root.set("counters", std::move(counters_obj));
+  JsonValue gauges_obj = JsonValue::make_object();
+  for (const auto& [name, value] : gauges) {
+    gauges_obj.set(name, JsonValue::make_number(value));
+  }
+  root.set("gauges", std::move(gauges_obj));
+  JsonValue hists_obj = JsonValue::make_object();
+  for (const auto& [name, snap] : histograms) {
+    JsonValue h = JsonValue::make_object();
+    h.set("count", JsonValue::make_number(static_cast<double>(snap.count)));
+    h.set("sum", JsonValue::make_number(snap.sum));
+    h.set("min", JsonValue::make_number(snap.min));
+    h.set("max", JsonValue::make_number(snap.max));
+    h.set("mean", JsonValue::make_number(snap.mean()));
+    h.set("p50", JsonValue::make_number(snap.quantile(0.50)));
+    h.set("p90", JsonValue::make_number(snap.quantile(0.90)));
+    h.set("p99", JsonValue::make_number(snap.quantile(0.99)));
+    JsonValue buckets = JsonValue::make_array();
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      JsonValue entry = JsonValue::make_object();
+      entry.set("lo", JsonValue::make_number(histogram_bucket_lo(b)));
+      entry.set("hi", JsonValue::make_number(histogram_bucket_hi(b)));
+      entry.set("count",
+                JsonValue::make_number(static_cast<double>(snap.buckets[b])));
+      buckets.push_back(std::move(entry));
+    }
+    h.set("buckets", std::move(buckets));
+    hists_obj.set(name, std::move(h));
+  }
+  root.set("histograms", std::move(hists_obj));
+  return root;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  // std::map iteration is already name-sorted, which is what makes the
+  // serialized snapshot deterministic.
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->total());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms.emplace_back(name, hist->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path) {
+  atomic_write_file(path, registry.snapshot().to_json().dump() + "\n");
+}
+
+ScopedTimer::ScopedTimer(LogHistogram& hist, Counter* count)
+    : hist_(hist), count_(count), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  hist_.record(elapsed_seconds());
+  if (count_ != nullptr) count_->add();
+}
+
+}  // namespace esched

@@ -1,0 +1,58 @@
+#include "obs/trace.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace esched {
+
+namespace {
+
+std::atomic<TraceWriter*> g_trace{nullptr};
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : path_(path),
+      file_(std::fopen(path.c_str(), "wb")),
+      start_(std::chrono::steady_clock::now()) {
+  if (file_ == nullptr) {
+    throw Error("cannot open trace file '" + path +
+                "': " + std::strerror(errno));
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceWriter::event(const char* type,
+                        std::initializer_list<TraceField> fields) {
+  const double t =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Build the whole line before taking the lock: serialization is the
+  // expensive part and needs no synchronization.
+  JsonValue line = JsonValue::make_object();
+  line.set("t", JsonValue::make_number(t));
+  line.set("ev", JsonValue::make_string(type));
+  for (const TraceField& field : fields) {
+    line.set(field.key, JsonValue(field.value));
+  }
+  std::string text = line.dump(/*indent=*/0);
+  text.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(text.data(), 1, text.size(), file_);
+  std::fflush(file_);
+}
+
+TraceWriter* set_global_trace(TraceWriter* writer) {
+  return g_trace.exchange(writer, std::memory_order_acq_rel);
+}
+
+TraceWriter* global_trace() {
+  return g_trace.load(std::memory_order_acquire);
+}
+
+}  // namespace esched

@@ -1,0 +1,88 @@
+// Structured JSONL trace of sweep lifecycle events. Each event serializes
+// to exactly one line — {"t": <seconds>, "ev": "<type>", ...fields} — so
+// the file is greppable, `jq`-able, and appendable by design. Timestamps
+// are steady_clock seconds relative to the writer's construction
+// (monotonic: immune to wall-clock adjustment, and directly comparable
+// across events of one run).
+//
+// Producers throughout the engine emit through the process-global sink
+// (set_global_trace); when no sink is installed — the default — emission
+// is a single relaxed atomic load, so traces cost nothing unless
+// requested with `esched run --trace`. Like the metrics layer, tracing is
+// observation only: it must never change report bytes, RNG streams, or
+// cache keys.
+//
+// Event reference (producer → types):
+//   sweep   → sweep_start, point_start, point_done, point_error,
+//             cache_hit, disk_hit, sweep_done
+//   dist    → lease_claim, lease_requeue, chunk_commit, chunk_failed,
+//             worker_start, worker_done
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace esched {
+
+/// One "key": value field of a trace event, built from the common value
+/// shapes so call sites stay terse.
+struct TraceField {
+  TraceField(const char* k, const std::string& v)
+      : key(k), value(JsonValue::make_string(v)) {}
+  TraceField(const char* k, const char* v)
+      : key(k), value(JsonValue::make_string(v)) {}
+  TraceField(const char* k, double v)
+      : key(k), value(JsonValue::make_number(v)) {}
+  TraceField(const char* k, int v)
+      : key(k), value(JsonValue::make_number(static_cast<double>(v))) {}
+  TraceField(const char* k, long v)
+      : key(k), value(JsonValue::make_number(static_cast<double>(v))) {}
+  TraceField(const char* k, std::size_t v)
+      : key(k), value(JsonValue::make_number(static_cast<double>(v))) {}
+  TraceField(const char* k, bool v) : key(k), value(JsonValue::make_bool(v)) {}
+
+  const char* key;
+  JsonValue value;
+};
+
+/// Append-only JSONL event sink. Thread-safe: each event is formatted into
+/// a buffer first and written with one fwrite under the writer's mutex,
+/// then flushed, so concurrent producers never tear a line and a reader
+/// tailing the file sees complete events promptly.
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`. Throws esched::Error when it cannot.
+  explicit TraceWriter(const std::string& path);
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+  ~TraceWriter();
+
+  /// Emits {"t": <seconds since construction>, "ev": type, ...fields}.
+  void event(const char* type, std::initializer_list<TraceField> fields = {});
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+};
+
+/// Installs `writer` (may be nullptr) as the process-global trace sink.
+/// The caller keeps ownership and must clear the sink before destroying
+/// the writer. Returns the previous sink.
+TraceWriter* set_global_trace(TraceWriter* writer);
+
+/// The current sink, or nullptr when tracing is off. Producers use
+///   if (TraceWriter* t = global_trace()) t->event("point_done", {...});
+/// so a disabled trace costs one relaxed load.
+TraceWriter* global_trace();
+
+}  // namespace esched

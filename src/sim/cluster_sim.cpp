@@ -1,12 +1,14 @@
 #include "sim/cluster_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "obs/metrics.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "stats/time_average.hpp"
@@ -74,6 +76,7 @@ ClassService serve_elastic(const std::deque<Job>& queue, double servers,
 
 SimResult simulate(const SystemParams& params, const AllocationPolicy& policy,
                    const SimOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
   params.validate();
   ESCHED_CHECK(params.lambda_i + params.lambda_e > 0.0,
                "simulation requires some arrivals");
@@ -218,6 +221,29 @@ SimResult simulate(const SystemParams& params, const AllocationPolicy& policy,
   if (rt_e.size() >= static_cast<std::size_t>(2 * options.batches)) {
     result.elastic.response_time =
         batch_means_ci(rt_e, options.batches, options.confidence);
+  }
+
+  // Observability, recorded once per call so the event loop itself stays
+  // untouched (and so does the RNG stream). Throughput histograms make
+  // "did the simulator get slower?" answerable from --metrics-out alone.
+  {
+    MetricsRegistry& m = global_metrics();
+    static Counter& events_counter = m.counter("sim.events");
+    static Counter& jobs_counter = m.counter("sim.jobs.completed");
+    static LogHistogram& jobs_per_second =
+        m.histogram("sim.jobs_per_second");
+    static LogHistogram& events_per_second =
+        m.histogram("sim.events_per_second");
+    events_counter.add(events);
+    jobs_counter.add(completed);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (wall > 0.0) {
+      jobs_per_second.record(static_cast<double>(completed) / wall);
+      events_per_second.record(static_cast<double>(events) / wall);
+    }
   }
   return result;
 }

@@ -29,13 +29,22 @@
 // Scenarios named in one invocation share the memoization cache, so
 // overlapping grids (e.g. fig5 is a slice of fig4) solve once; --cache-dir
 // extends that across invocations and processes.
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 #include "dist/work_queue.hpp"
@@ -45,6 +54,8 @@
 #include "engine/scenario.hpp"
 #include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phase/size_dist.hpp"
 
 namespace {
@@ -64,7 +75,9 @@ void print_usage() {
       "       esched work --queue-dir Q [--threads N] [--cache-dir D]\n"
       "                   [--lease-ttl S] [--poll-ms M] [--max-chunks N]\n"
       "                   [--owner NAME] [--progress] [--no-wait]\n"
-      "       esched status --queue-dir Q [--lease-ttl S]\n"
+      "                   [--metrics-out P] [--trace P]\n"
+      "       esched status --queue-dir Q [--lease-ttl S] [--watch]\n"
+      "                     [--interval S]\n"
       "       esched collect --queue-dir Q --out merged.csv [--json m.json]\n"
       "\n"
       "A scenario argument is a built-in name (see `esched list`) or a\n"
@@ -93,6 +106,14 @@ void print_usage() {
       "  --progress      one stderr line per completed row (index, backend,\n"
       "                  E[T], solve time) — the same progress path\n"
       "                  `esched work --progress` uses\n"
+      "  --metrics-out P write a metrics snapshot JSON when the run ends:\n"
+      "                  per-backend solve-time/state-count histograms,\n"
+      "                  cache hit/miss counters, thread utilization (see\n"
+      "                  README 'Observability'; observation only — CSV\n"
+      "                  and JSON report bytes are unchanged by it)\n"
+      "  --trace P       append structured JSONL lifecycle events (one\n"
+      "                  object per line: point_done, cache_hit, ...) to P\n"
+      "                  as the sweep runs; also observation-only\n"
       "\n"
       "cache options:\n"
       "  --max-age S     gc: evict entries older than S seconds\n"
@@ -111,7 +132,10 @@ void print_usage() {
       "                  so killed workers lose nothing\n"
       "  status          pending/leased/done chunk counts, points done,\n"
       "                  active workers, and an ETA from committed solve\n"
-      "                  times\n"
+      "                  times; --watch redraws every --interval seconds\n"
+      "                  (default 2) with per-worker throughput and a\n"
+      "                  rolling ETA from recent commits, exiting when the\n"
+      "                  queue finishes\n"
       "  collect         validate completeness and merge the chunk results\n"
       "                  in chunk order: --out CSV is byte-identical to the\n"
       "                  unsharded `esched run` CSV; --json merges the\n"
@@ -275,6 +299,36 @@ std::string next_value(const std::vector<std::string>& args, std::size_t* n,
   return args[++*n];
 }
 
+/// Installs the process-wide trace sink for its lifetime when a --trace
+/// path was given (engine layers pick it up via global_trace()), and
+/// detaches the sink before the writer is destroyed. Observation only:
+/// tracing never alters report bytes, RNG streams, or cache keys.
+class TraceScope {
+ public:
+  explicit TraceScope(const std::string& path) {
+    if (!path.empty()) {
+      writer_ = std::make_unique<esched::TraceWriter>(path);
+      esched::set_global_trace(writer_.get());
+    }
+  }
+  ~TraceScope() {
+    if (writer_ != nullptr) esched::set_global_trace(nullptr);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::unique_ptr<esched::TraceWriter> writer_;
+};
+
+/// Writes the --metrics-out snapshot (atomic rename, stable schema).
+void write_metrics_snapshot(const std::string& path) {
+  if (path.empty()) return;
+  esched::write_metrics_json(esched::global_metrics(), path);
+  std::printf("wrote %s (metrics schema v%d)\n", path.c_str(),
+              esched::kMetricsSchemaVersion);
+}
+
 /// `esched queue init <scenario>... --queue-dir Q [--chunk N] ...`
 int run_queue(const std::vector<std::string>& args) {
   if (args.empty() || args[0] != "init") {
@@ -327,11 +381,17 @@ int run_queue(const std::vector<std::string>& args) {
 /// `esched work --queue-dir Q [...]`
 int run_work(const std::vector<std::string>& args) {
   std::string queue_dir;
+  std::string metrics_path;
+  std::string trace_path;
   esched::WorkerOptions options;
   options.log = &std::cerr;
   for (std::size_t n = 0; n < args.size(); ++n) {
     if (args[n] == "--queue-dir") {
       queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--metrics-out") {
+      metrics_path = next_value(args, &n, "--metrics-out");
+    } else if (args[n] == "--trace") {
+      trace_path = next_value(args, &n, "--trace");
     } else if (args[n] == "--threads") {
       options.threads = static_cast<int>(
           parse_long("--threads", next_value(args, &n, "--threads")));
@@ -363,7 +423,9 @@ int run_work(const std::vector<std::string>& args) {
   if (queue_dir.empty()) {
     throw esched::Error("work requires --queue-dir Q");
   }
+  const TraceScope trace(trace_path);
   const esched::WorkerSummary summary = esched::run_worker(queue_dir, options);
+  write_metrics_snapshot(metrics_path);
   std::printf("work %s: %zu chunks (%zu points) solved, %zu requeued%s\n",
               queue_dir.c_str(), summary.chunks_solved, summary.points_solved,
               summary.chunks_requeued,
@@ -378,46 +440,100 @@ int run_work(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// `esched status --queue-dir Q [--lease-ttl S]`
-int run_status(const std::vector<std::string>& args) {
-  std::string queue_dir;
-  double lease_ttl = 60.0;
-  for (std::size_t n = 0; n < args.size(); ++n) {
-    if (args[n] == "--queue-dir") {
-      queue_dir = next_value(args, &n, "--queue-dir");
-    } else if (args[n] == "--lease-ttl") {
-      lease_ttl = static_cast<double>(
-          parse_long("--lease-ttl", next_value(args, &n, "--lease-ttl")));
-    } else {
-      throw esched::Error("unknown status option '" + args[n] + "'");
-    }
-  }
-  if (queue_dir.empty()) {
-    throw esched::Error("status requires --queue-dir Q");
-  }
-  const esched::WorkQueue queue(queue_dir);
+/// printf-style append. Status frames are assembled fully before any
+/// write so `--watch` repaints with one fputs — no torn frames when the
+/// terminal is shared with worker stderr.
+void appendf(std::string* out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[1024];
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+/// One `esched status` frame. The one-shot sections are byte-identical
+/// to the historical output; `watch` adds per-worker throughput and a
+/// rolling ETA computed from done records committed inside the last
+/// `kRollingWindowSeconds` (their mtime age), which tracks the CURRENT
+/// fleet speed — the cumulative avg below it never forgets a slow start.
+/// Sets *finished when every chunk is done or terminally failed.
+constexpr double kRollingWindowSeconds = 120.0;
+
+std::string render_status(const esched::WorkQueue& queue, double lease_ttl,
+                          bool watch, bool* finished) {
   const esched::QueueManifest& manifest = queue.manifest();
   const esched::QueueCounts counts = queue.counts(lease_ttl);
-  std::printf("queue %s: %zu chunks x <=%zu points (%zu points total)\n",
-              queue_dir.c_str(), manifest.num_chunks, manifest.chunk_size,
-              manifest.total_points);
-  std::printf("  pending: %zu   leased: %zu (%zu expired)   done: %zu/%zu\n",
-              counts.pending, counts.leased, counts.expired, counts.done,
-              manifest.num_chunks);
+  *finished = counts.done + counts.failed >= manifest.num_chunks;
+  std::string out;
+  appendf(&out, "queue %s: %zu chunks x <=%zu points (%zu points total)\n",
+          queue.directory().c_str(), manifest.num_chunks, manifest.chunk_size,
+          manifest.total_points);
+  appendf(&out, "  pending: %zu   leased: %zu (%zu expired)   done: %zu/%zu\n",
+          counts.pending, counts.leased, counts.expired, counts.done,
+          manifest.num_chunks);
   if (counts.failed > 0) {
-    std::printf("  FAILED: %zu chunk(s) — deterministic solver errors:\n",
-                counts.failed);
+    appendf(&out, "  FAILED: %zu chunk(s) — deterministic solver errors:\n",
+            counts.failed);
     for (const esched::FailureRecord& failure : queue.failures()) {
-      std::printf("    chunk %zu (%s): %s\n", failure.chunk,
-                  failure.owner.c_str(), failure.error.c_str());
+      appendf(&out, "    chunk %zu (%s): %s\n", failure.chunk,
+              failure.owner.c_str(), failure.error.c_str());
     }
   }
-  std::printf("  points done: %zu/%zu (%.1f%%)\n", counts.done_points,
-              manifest.total_points,
-              manifest.total_points == 0
-                  ? 100.0
-                  : 100.0 * static_cast<double>(counts.done_points) /
-                        static_cast<double>(manifest.total_points));
+  appendf(&out, "  points done: %zu/%zu (%.1f%%)\n", counts.done_points,
+          manifest.total_points,
+          manifest.total_points == 0
+              ? 100.0
+              : 100.0 * static_cast<double>(counts.done_points) /
+                    static_cast<double>(manifest.total_points));
+  if (watch && counts.done > 0) {
+    // Per-owner tallies over every committed chunk, plus the recent
+    // window for the rolling rate.
+    struct Tally {
+      std::size_t chunks = 0;
+      std::size_t points = 0;
+      double seconds = 0.0;
+      std::size_t recent_points = 0;
+    };
+    std::map<std::string, Tally> by_owner;  // sorted -> stable frames
+    std::size_t recent_points = 0;
+    double recent_span = 0.0;
+    for (const esched::ChunkRecord& record : queue.completed()) {
+      Tally& tally =
+          by_owner[record.owner.empty() ? "(unknown)" : record.owner];
+      ++tally.chunks;
+      tally.points += record.rows;
+      tally.seconds += record.solve_seconds;
+      if (record.age_seconds <= kRollingWindowSeconds) {
+        recent_points += record.rows;
+        tally.recent_points += record.rows;
+        recent_span = std::max(recent_span, record.age_seconds);
+      }
+    }
+    appendf(&out, "  workers (committed chunks):\n");
+    for (const auto& [owner, tally] : by_owner) {
+      appendf(&out, "    %-24s %4zu chunks  %6zu points  %.4f s/point",
+              owner.c_str(), tally.chunks, tally.points,
+              tally.points == 0
+                  ? 0.0
+                  : tally.seconds / static_cast<double>(tally.points));
+      if (tally.recent_points > 0) {
+        appendf(&out, "  [%zu recent]", tally.recent_points);
+      }
+      out += "\n";
+    }
+    if (recent_points > 0 && !*finished) {
+      const double span = std::max(recent_span, 1.0);
+      const double rate = static_cast<double>(recent_points) / span;
+      const double eta =
+          static_cast<double>(manifest.total_points - counts.done_points) /
+          rate;
+      appendf(&out,
+              "  rolling: %.2f points/s over the last %.0f s -> ~%.1f s "
+              "left\n",
+              rate, span, eta);
+    }
+  }
   if (counts.done_points > 0 && counts.done < manifest.num_chunks) {
     const double per_point =
         counts.done_seconds / static_cast<double>(counts.done_points);
@@ -426,15 +542,66 @@ int run_status(const std::vector<std::string>& args) {
         static_cast<double>(manifest.total_points - counts.done_points);
     const std::size_t workers =
         counts.active_workers > 0 ? counts.active_workers : 1;
-    std::printf(
-        "  avg solve: %.4f s/point; ~%.1f s of work left (~%.1f s at %zu "
-        "active worker%s)\n",
-        per_point, remaining, remaining / static_cast<double>(workers),
-        workers, workers == 1 ? "" : "s");
+    appendf(&out,
+            "  avg solve: %.4f s/point; ~%.1f s of work left (~%.1f s at %zu "
+            "active worker%s)\n",
+            per_point, remaining, remaining / static_cast<double>(workers),
+            workers, workers == 1 ? "" : "s");
   }
   if (counts.done == manifest.num_chunks) {
-    std::printf("  complete — `esched collect --queue-dir %s --out ...`\n",
-                queue_dir.c_str());
+    appendf(&out, "  complete — `esched collect --queue-dir %s --out ...`\n",
+            queue.directory().c_str());
+  }
+  return out;
+}
+
+/// `esched status --queue-dir Q [--lease-ttl S] [--watch] [--interval S]`
+int run_status(const std::vector<std::string>& args) {
+  std::string queue_dir;
+  double lease_ttl = 60.0;
+  bool watch = false;
+  double interval = 2.0;
+  for (std::size_t n = 0; n < args.size(); ++n) {
+    if (args[n] == "--queue-dir") {
+      queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--lease-ttl") {
+      lease_ttl = static_cast<double>(
+          parse_long("--lease-ttl", next_value(args, &n, "--lease-ttl")));
+    } else if (args[n] == "--watch") {
+      watch = true;
+    } else if (args[n] == "--interval") {
+      interval = static_cast<double>(
+          parse_long("--interval", next_value(args, &n, "--interval")));
+    } else {
+      throw esched::Error("unknown status option '" + args[n] + "'");
+    }
+  }
+  if (queue_dir.empty()) {
+    throw esched::Error("status requires --queue-dir Q");
+  }
+  const esched::WorkQueue queue(queue_dir);
+  bool finished = false;
+  if (!watch) {
+    const std::string frame =
+        render_status(queue, lease_ttl, /*watch=*/false, &finished);
+    std::fputs(frame.c_str(), stdout);
+    return 0;
+  }
+#if __has_include(<unistd.h>)
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+#else
+  const bool tty = false;
+#endif
+  for (;;) {
+    const std::string frame =
+        render_status(queue, lease_ttl, /*watch=*/true, &finished);
+    // Home + clear on a tty so the frame repaints in place; plain
+    // append when piped (each frame stays a parseable block).
+    if (tty) std::fputs("\033[H\033[2J", stdout);
+    std::fputs(frame.c_str(), stdout);
+    std::fflush(stdout);
+    if (finished) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
   }
   return 0;
 }
@@ -490,6 +657,8 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string out_path;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   std::size_t summary_rows = 20;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
@@ -554,6 +723,10 @@ int main(int argc, char** argv) {
         show_progress = true;
       } else if (arg == "--json") {
         json_path = next_value("--json");
+      } else if (arg == "--metrics-out") {
+        metrics_path = next_value("--metrics-out");
+      } else if (arg == "--trace") {
+        trace_path = next_value("--trace");
       } else if (arg == "--rows") {
         summary_rows = static_cast<std::size_t>(
             parse_long("--rows", next_value("--rows")));
@@ -585,6 +758,7 @@ int main(int argc, char** argv) {
     if (stream && out_path.empty()) {
       throw esched::Error("--stream requires --out PATH");
     }
+    const TraceScope trace(trace_path);
 
     esched::SweepRunner runner(threads);
     if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
@@ -701,6 +875,7 @@ int main(int argc, char** argv) {
         combined.cache_hits += stats.cache_hits;
         combined.disk_hits += stats.disk_hits;
         combined.wall_seconds += stats.wall_seconds;
+        combined.solve_seconds_total += stats.solve_seconds_total;
       }
       std::printf("\n");
     }
@@ -724,6 +899,7 @@ int main(int argc, char** argv) {
                   all_points.size(), scenario_args.size(),
                   scenario_args.size() == 1 ? "" : "s");
     }
+    write_metrics_snapshot(metrics_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esched: %s\n", e.what());
     return 1;
