@@ -233,6 +233,70 @@ std::vector<BenchCase> build_cases() {
            counters["states"] = static_cast<double>(r.num_states);
          }});
   }
+  // CSR-sweep SOR cost on the plain chain (explicit method=sor): the
+  // iterative baseline the direct solvers below are judged against.
+  for (const long trunc : {40L, 80L}) {
+    cases.push_back(
+        {"sor_csr/trunc=" + std::to_string(trunc), trunc != 40, 0.0,
+         [trunc](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+           ExactCtmcOptions opt;
+           opt.imax = opt.jmax = trunc;
+           opt.method = StationaryMethod::kSor;
+           const ExactCtmcResult r =
+               solve_exact_ctmc(p, InelasticFirst{}, opt);
+           g_sink = r.mean_response_time;
+           counters["states"] = static_cast<double>(r.num_states);
+           counters["solver_iterations"] =
+               static_cast<double>(r.solve_info.iterations);
+         }});
+  }
+  // Direct solvers head to head on the same chain: dense GTH is O(n^3) in
+  // the full state count, block elimination O(levels * block^3) — same
+  // stationary vector to ~1e-10.
+  for (const long trunc : {20L, 40L}) {
+    for (const StationaryMethod method :
+         {StationaryMethod::kGth, StationaryMethod::kBlock}) {
+      cases.push_back(
+          {"exact_block_vs_gth/method=" +
+               std::string(stationary_method_name(method)) +
+               "/trunc=" + std::to_string(trunc),
+           trunc != 20, 0.0,
+           [trunc, method](std::map<std::string, double>& counters) {
+             const SystemParams p = SystemParams::from_load(4, 1.0, 1.0, 0.7);
+             ExactCtmcOptions opt;
+             opt.imax = opt.jmax = trunc;
+             opt.method = method;
+             const ExactCtmcResult r =
+                 solve_exact_ctmc(p, InelasticFirst{}, opt);
+             g_sink = r.mean_response_time;
+             counters["states"] = static_cast<double>(r.num_states);
+           }});
+    }
+  }
+  // The PR 7 headline A/B: the phase-augmented chain at imax=jmax=120
+  // (58201 states), where SOR needs ~29k sweeps at this load and the block
+  // solver replaces them with one backward/forward elimination pass.
+  for (const StationaryMethod method :
+       {StationaryMethod::kBlock, StationaryMethod::kSor}) {
+    cases.push_back(
+        {"exact_ph_erlang4_rho995_trunc120/method=" +
+             std::string(stationary_method_name(method)),
+         true, 0.0, [method](std::map<std::string, double>& counters) {
+           const SystemParams p = SystemParams::from_load(1, 1.0, 1.0, 0.995);
+           const PhaseType erl4 =
+               SizeDistSpec::parse("erlang:4").compile(p.mu_i);
+           ExactCtmcOptions opt;
+           opt.imax = opt.jmax = 120;
+           opt.method = method;
+           const ExactCtmcResult r =
+               solve_exact_ctmc_ph(p, InelasticFirst{}, erl4, opt);
+           g_sink = r.mean_response_time;
+           counters["states"] = static_cast<double>(r.num_states);
+           counters["solver_iterations"] =
+               static_cast<double>(r.solve_info.iterations);
+         }});
+  }
   {
     constexpr std::uint64_t kJobs = 20000;
     // Per-iteration seed bump keeps iterations honest (no chance of the

@@ -1,14 +1,18 @@
 #include "core/exact_ctmc.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "markov/block_solver.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/stationary.hpp"
+#include "obs/metrics.hpp"
 
 namespace esched {
 
@@ -26,14 +30,113 @@ std::size_t state_index(long i, long j, long nj) {
   return static_cast<std::size_t>(i * nj + j);
 }
 
+/// Explicit method = gth densifies the generator; past this it is a
+/// request for O(n^2) memory and O(n^3) time that block/SOR do better.
+constexpr std::size_t kDenseGthLimit = 5000;
+
+/// Auto only picks the block solver when its estimated elimination work
+/// stays below this (~a second or two of arithmetic). Chains whose blocks
+/// are effectively dense — e.g. multi-server phase-augmented chains where
+/// nearly every state receives a down-transition — exceed it and go to
+/// SOR, which scales with nnz * sweeps instead of block^3.
+constexpr double kAutoBlockFlopLimit = 2e9;
+
+/// Runs the stationary solve with the selected (or auto-chosen) method,
+/// recording per-method solve-time / state-count metrics. `level_of` may
+/// be empty when the chain has no usable level structure.
+std::pair<Vector, StationarySolveInfo> solve_stationary(
+    const CsrMatrix& rates, const Vector& exit_rates,
+    const std::vector<std::uint32_t>& level_of,
+    const ExactCtmcOptions& options) {
+  const std::size_t n = rates.rows();
+  const bool auto_selected = options.method == StationaryMethod::kAuto;
+  StationaryMethod method = options.method;
+  if (auto_selected) {
+    if (n <= options.gth_state_limit) {
+      method = StationaryMethod::kGth;
+    } else if (!level_of.empty() &&
+               block_solver_workspace_bytes(level_of) <=
+                   options.block_memory_limit &&
+               block_solver_flop_estimate(rates, level_of) <=
+                   kAutoBlockFlopLimit) {
+      method = StationaryMethod::kBlock;
+    } else {
+      method = StationaryMethod::kSor;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Vector pi;
+  StationarySolveInfo solve_info;
+  const auto run_sor = [&] {
+    pi = sor_stationary(rates, exit_rates, options.sor_tol,
+                        options.sor_max_iters, options.sor_omega, &solve_info);
+    ESCHED_CHECK(solve_info.converged,
+                 "SOR did not converge; increase iterations or loosen tol");
+  };
+  switch (method) {
+    case StationaryMethod::kGth:
+      ESCHED_CHECK(n <= kDenseGthLimit,
+                   "method 'gth' densifies the generator; " +
+                       std::to_string(n) + " states exceeds the " +
+                       std::to_string(kDenseGthLimit) +
+                       "-state dense limit (use method 'block' or 'sor')");
+      pi = gth_stationary(rates, exit_rates);
+      solve_info.converged = true;
+      solve_info.residual = stationary_residual(rates, exit_rates, pi);
+      break;
+    case StationaryMethod::kSor:
+      run_sor();
+      break;
+    case StationaryMethod::kBlock:
+      ESCHED_CHECK(!level_of.empty(),
+                   "method 'block' needs a level-structured chain");
+      ESCHED_CHECK(
+          block_solver_workspace_bytes(level_of) <= options.block_memory_limit,
+          "method 'block' would need " +
+              std::to_string(block_solver_workspace_bytes(level_of)) +
+              " workspace bytes, over the " +
+              std::to_string(options.block_memory_limit) +
+              "-byte limit (raise block_memory_limit or use 'sor')");
+      if (auto_selected) {
+        // Some policies (e.g. idling variants) leave a level with no
+        // down-transitions, which the direct elimination rejects; those
+        // chains are still solvable iteratively, so auto falls back.
+        try {
+          pi = block_tridiagonal_stationary(rates, exit_rates, level_of,
+                                            &solve_info);
+        } catch (const Error&) {
+          global_metrics().counter("exact.method.block.fallbacks").add();
+          method = StationaryMethod::kSor;
+          run_sor();
+        }
+      } else {
+        pi = block_tridiagonal_stationary(rates, exit_rates, level_of,
+                                          &solve_info);
+      }
+      break;
+    case StationaryMethod::kAuto:
+      ESCHED_ASSERT(false, "auto method not resolved");
+  }
+  solve_info.method = stationary_method_name(method);
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  MetricsRegistry& metrics = global_metrics();
+  const std::string prefix =
+      std::string("exact.method.") + solve_info.method;
+  metrics.counter(prefix + ".solves").add();
+  metrics.histogram(prefix + ".seconds").record(seconds);
+  metrics.histogram(prefix + ".states").record(static_cast<double>(n));
+  return {std::move(pi), std::move(solve_info)};
+}
+
 }  // namespace
 
 ExactCtmcBatch::ExactCtmcBatch(const SystemParams& params,
                                const ExactCtmcOptions& options)
-    : params_(params),
-      options_(options),
-      skeleton_(static_cast<std::size_t>((options.imax + 1) *
-                                         (options.jmax + 1))) {
+    : params_(params), options_(options) {
   params_.validate();
   ESCHED_CHECK(params_.stable(), "exact solve requires rho < 1");
   ESCHED_CHECK(options_.imax >= 1 && options_.jmax >= 1,
@@ -41,65 +144,81 @@ ExactCtmcBatch::ExactCtmcBatch(const SystemParams& params,
   ESCHED_CHECK(params_.lambda_i + params_.lambda_e > 0.0,
                "exact solve requires some arrivals");
 
-  // The arrival transitions do not depend on the policy: add them once.
-  // Arrivals are dropped at the truncation boundary (reflecting wall).
-  // Per state the insertion order is (arrival_i, arrival_e) here and
-  // (service_i, service_e) in solve(), the same accumulation order as a
-  // monolithic build, so exit-rate sums — and therefore the stationary
-  // solve — are bitwise identical to the unbatched path.
+  // The arrival transitions do not depend on the policy: freeze them into
+  // a CSR skeleton once. Arrivals are dropped at the truncation boundary
+  // (reflecting wall). Per state the exit-rate accumulation order is
+  // (arrival_i, arrival_e) here and (service_i, service_e) in solve(), the
+  // same order as a monolithic SparseCtmc build, so exit-rate sums — and
+  // therefore the stationary solve — are bitwise identical to it.
   const long ni = options_.imax + 1;
   const long nj = options_.jmax + 1;
+  const auto num_states = static_cast<std::size_t>(ni * nj);
+  skeleton_.begin_rows(num_states, num_states);
+  base_exit_.assign(num_states, 0.0);
+  level_of_.resize(num_states);
+  // Level along the longer truncation axis: more levels of smaller blocks
+  // (the block solve costs levels * block^3).
+  const bool level_by_i = ni >= nj;
   for (long i = 0; i < ni; ++i) {
     for (long j = 0; j < nj; ++j) {
       const std::size_t s = state_index(i, j, nj);
-      if (i + 1 < ni) {
-        skeleton_.add_rate(s, state_index(i + 1, j, nj), params_.lambda_i);
+      level_of_[s] = static_cast<std::uint32_t>(level_by_i ? i : j);
+      double exit = 0.0;
+      if (i + 1 < ni && params_.lambda_i > 0.0) exit += params_.lambda_i;
+      if (j + 1 < nj && params_.lambda_e > 0.0) exit += params_.lambda_e;
+      // CSR rows need ascending destinations: j+1 (s+1) before i+1 (s+nj).
+      if (j + 1 < nj && params_.lambda_e > 0.0) {
+        skeleton_.push(state_index(i, j + 1, nj), params_.lambda_e);
       }
-      if (j + 1 < nj) {
-        skeleton_.add_rate(s, state_index(i, j + 1, nj), params_.lambda_e);
+      if (i + 1 < ni && params_.lambda_i > 0.0) {
+        skeleton_.push(state_index(i + 1, j, nj), params_.lambda_i);
       }
+      skeleton_.next_row();
+      base_exit_[s] = exit;
     }
   }
 }
 
-ExactCtmcResult ExactCtmcBatch::solve(const AllocationPolicy& policy) const {
+ExactCtmcResult ExactCtmcBatch::solve(const AllocationPolicy& policy) {
   const long ni = options_.imax + 1;
   const long nj = options_.jmax + 1;
   const auto num_states = static_cast<std::size_t>(ni * nj);
 
-  SparseCtmc chain = skeleton_;
+  // Overlay the policy's service rates onto the arrival skeleton, reusing
+  // the scratch matrix's capacity across solves. Per state the (sorted)
+  // destinations are s-nj (service_i), s-1 (service_e), then the skeleton
+  // arrivals s+1, s+nj.
+  scratch_rates_.begin_rows(num_states, num_states);
+  scratch_exit_.assign(num_states, 0.0);
   for (long i = 0; i < ni; ++i) {
     for (long j = 0; j < nj; ++j) {
       const State state{i, j};
       policy.check_feasible(state, params_);
       const Allocation a = policy.allocate(state, params_);
       const std::size_t s = state_index(i, j, nj);
-      if (i > 0 && a.inelastic > 0.0) {
-        chain.add_rate(s, state_index(i - 1, j, nj),
-                       a.inelastic * params_.mu_i);
-      }
+      double svc_i = 0.0;
+      if (i > 0 && a.inelastic > 0.0) svc_i = a.inelastic * params_.mu_i;
       // Bounded elasticity: only cap * j servers of the class allocation
       // can actually be used by elastic jobs.
       const double usable = params_.usable_elastic(a.elastic, j);
-      if (j > 0 && usable > 0.0) {
-        chain.add_rate(s, state_index(i, j - 1, nj), usable * params_.mu_e);
-      }
+      double svc_e = 0.0;
+      if (j > 0 && usable > 0.0) svc_e = usable * params_.mu_e;
+      if (svc_i > 0.0) scratch_rates_.push(state_index(i - 1, j, nj), svc_i);
+      if (svc_e > 0.0) scratch_rates_.push(state_index(i, j - 1, nj), svc_e);
+      const std::size_t* to = skeleton_.row_cols(s);
+      const double* rate = skeleton_.row_values(s);
+      const std::size_t nnz = skeleton_.row_nnz(s);
+      for (std::size_t k = 0; k < nnz; ++k) scratch_rates_.push(to[k], rate[k]);
+      scratch_rates_.next_row();
+      double exit = base_exit_[s];
+      if (svc_i > 0.0) exit += svc_i;
+      if (svc_e > 0.0) exit += svc_e;
+      scratch_exit_[s] = exit;
     }
   }
-  chain.freeze();
 
-  Vector pi;
-  StationarySolveInfo solve_info;
-  if (num_states <= options_.gth_state_limit) {
-    pi = gth_stationary(chain);
-    solve_info.converged = true;
-    solve_info.residual = stationary_residual(chain, pi);
-  } else {
-    pi = sor_stationary(chain, options_.sor_tol, options_.sor_max_iters,
-                        options_.sor_omega, &solve_info);
-    ESCHED_CHECK(solve_info.converged,
-                 "SOR did not converge; increase iterations or loosen tol");
-  }
+  auto [pi, solve_info] =
+      solve_stationary(scratch_rates_, scratch_exit_, level_of_, options_);
 
   ExactCtmcResult result;
   result.num_states = num_states;
@@ -300,18 +419,20 @@ class PhChainBuilder {
     }
     chain.freeze();
 
-    Vector pi;
-    StationarySolveInfo solve_info;
-    if (states_.size() <= options_.gth_state_limit) {
-      pi = gth_stationary(chain);
-      solve_info.converged = true;
-      solve_info.residual = stationary_residual(chain, pi);
-    } else {
-      pi = sor_stationary(chain, options_.sor_tol, options_.sor_max_iters,
-                          options_.sor_omega, &solve_info);
-      ESCHED_CHECK(solve_info.converged,
-                   "SOR did not converge; increase iterations or loosen tol");
+    // The augmented chain is level-structured in i = sum(c) + w: phase
+    // progression and admissions preserve i, arrivals/completions move it
+    // by one — so the block solver applies to it directly.
+    std::vector<std::uint32_t> level_of(states_.size());
+    for (std::size_t n = 0; n < states_.size(); ++n) {
+      const PhState& st = states_[n];
+      const long started =
+          std::accumulate(st.c.begin(), st.c.end(), 0L,
+                          [](long acc, int v) { return acc + v; });
+      level_of[n] = static_cast<std::uint32_t>(started + st.w);
     }
+
+    auto [pi, solve_info] = solve_stationary(
+        chain.rate_matrix(), chain.exit_rates(), level_of, options_);
 
     ExactCtmcResult result;
     result.num_states = states_.size();

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/params.hpp"
 #include "core/policy.hpp"
+#include "linalg/csr.hpp"
 #include "markov/stationary.hpp"
 #include "phase/phase_type.hpp"
 
@@ -21,12 +24,21 @@ namespace esched {
 struct ExactCtmcOptions {
   long imax = 120;  ///< inelastic truncation level
   long jmax = 120;  ///< elastic truncation level
-  /// Use dense GTH elimination when the state count is at most this;
-  /// otherwise sparse SOR. GTH is exact; SOR iterates to `sor_tol`.
+  /// Stationary-solver selection. kAuto keeps the historical behavior for
+  /// small chains (dense GTH up to gth_state_limit states) and otherwise
+  /// prefers the block-tridiagonal direct solver — falling back to SOR
+  /// when the block factors would exceed block_memory_limit bytes.
+  StationaryMethod method = StationaryMethod::kAuto;
+  /// Use dense GTH elimination when the state count is at most this (and
+  /// method is kAuto). GTH is direct; SOR iterates to `sor_tol`.
   std::size_t gth_state_limit = 500;
   double sor_tol = 1e-12;
   int sor_max_iters = 200000;
   double sor_omega = 1.0;
+  /// Workspace cap for the block solver (see
+  /// block_solver_workspace_bytes). kAuto falls back to SOR above it; an
+  /// explicit kBlock request throws instead.
+  std::size_t block_memory_limit = std::size_t{4} << 30;
 };
 
 /// Results of the truncated stationary solve.
@@ -40,9 +52,10 @@ struct ExactCtmcResult {
   /// j == jmax; a large value means the truncation is too tight.
   double boundary_mass = 0.0;
   std::size_t num_states = 0;
-  /// Cost/quality of the stationary solve. GTH is direct, so its entry has
-  /// iterations == 0, converged == true, and the measured residual; the SOR
-  /// path reports the iterative solver's own exit state.
+  /// Cost/quality of the stationary solve. The direct solvers (GTH,
+  /// block) report iterations == 0, converged == true, and the measured
+  /// residual; the SOR path reports the iterative solver's own exit
+  /// state. solve_info.method names the solver that actually ran.
   StationarySolveInfo solve_info;
 };
 
@@ -55,18 +68,24 @@ ExactCtmcResult solve_exact_ctmc(const SystemParams& params,
 
 /// Shares chain-topology construction across policies at identical
 /// (params, options): the truncated state space and its policy-independent
-/// arrival transitions are built once, and each solve() only adds the
-/// policy's service rates before solving. Every policy-family sweep (the
-/// §4 optimality table, the engine's exact-CTMC point groups) hits the
-/// same params with many policies, so the per-policy rebuild is pure
-/// waste. solve() is bitwise identical to solve_exact_ctmc on the same
-/// inputs — rates are accumulated per state in the same order — which is
-/// what lets the sweep engine batch transparently under its memo cache.
+/// arrival transitions are frozen into a CSR skeleton once, and each
+/// solve() overlays the policy's service rates into a reusable scratch
+/// matrix before solving — no per-policy rebuild, no per-solve adjacency
+/// copies. Every policy-family sweep (the §4 optimality table, the
+/// engine's exact-CTMC point groups) hits the same params with many
+/// policies, so the per-policy rebuild is pure waste. solve() is bitwise
+/// identical to solve_exact_ctmc on the same inputs — rates are
+/// accumulated per state in the same order — which is what lets the sweep
+/// engine batch transparently under its memo cache.
+///
+/// solve() mutates the scratch buffers, so a batch instance is NOT safe
+/// for concurrent solves; the sweep runner gives each topology group its
+/// own instance on one thread.
 class ExactCtmcBatch {
  public:
   ExactCtmcBatch(const SystemParams& params, const ExactCtmcOptions& options);
 
-  ExactCtmcResult solve(const AllocationPolicy& policy) const;
+  ExactCtmcResult solve(const AllocationPolicy& policy);
 
   const SystemParams& params() const { return params_; }
   const ExactCtmcOptions& options() const { return options_; }
@@ -74,9 +93,17 @@ class ExactCtmcBatch {
  private:
   SystemParams params_;
   ExactCtmcOptions options_;
-  /// Arrival-only generator skeleton (unfrozen); solve() copies it and
-  /// adds the policy's service transitions.
-  SparseCtmc skeleton_;
+  /// Arrival-only rate skeleton (frozen CSR) and the arrival part of each
+  /// state's exit rate.
+  CsrMatrix skeleton_;
+  Vector base_exit_;
+  /// Level assignment along the longer truncation axis (more, smaller
+  /// blocks) for the block solver.
+  std::vector<std::uint32_t> level_of_;
+  /// Reusable per-solve scratch: the full generator (skeleton + policy
+  /// service rates) and its exit rates, rebuilt in place each solve.
+  CsrMatrix scratch_rates_;
+  Vector scratch_exit_;
 };
 
 /// Exact truncated solve with phase-type *inelastic* job sizes (elastic
@@ -87,7 +114,8 @@ class ExactCtmcBatch {
 /// elastic jobs. Only the reachable component is enumerated (BFS from the
 /// empty system), arrivals are dropped at the i/j truncation boundary, and
 /// boundary_mass reports the stationary mass sitting on it — the same
-/// truncation-mass accounting as the exponential chain.
+/// truncation-mass accounting as the exponential chain. The chain is
+/// level-structured in i = sum(c) + w, so the block solver applies.
 ///
 /// Exactness requires that the phase counts be a sufficient statistic,
 /// which holds when (a) the policy's inelastic allocation is integral in

@@ -104,6 +104,12 @@ std::string RunPoint::cache_key() const {
       key += ";eps=" + key_double(options.truncation_epsilon);
       key += ";imax=" + std::to_string(options.imax);
       key += ";jmax=" + std::to_string(options.jmax);
+      // Only non-auto methods appear, keeping pre-existing keys — and the
+      // disk-cache entries stored under them — byte-identical.
+      if (options.exact_method != StationaryMethod::kAuto) {
+        key += ";method=";
+        key += stationary_method_name(options.exact_method);
+      }
       break;
     case SolverKind::kSimulation:
       key += ";jobs=" + std::to_string(options.sim_jobs);

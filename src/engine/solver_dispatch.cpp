@@ -107,6 +107,7 @@ ExactCtmcOptions resolve_exact_options(const RunPoint& point) {
                                             point.options.truncation_epsilon);
   options.imax = point.options.imax > 0 ? point.options.imax : derived;
   options.jmax = point.options.jmax > 0 ? point.options.jmax : derived;
+  options.method = point.options.exact_method;
   return options;
 }
 
@@ -309,7 +310,7 @@ ExactGroupSolver::ExactGroupSolver(const RunPoint& representative)
                "exact group requires exact-CTMC points");
 }
 
-RunResult ExactGroupSolver::solve(const RunPoint& point) const {
+RunResult ExactGroupSolver::solve(const RunPoint& point) {
   ESCHED_CHECK(exact_topology_key(point) == topology_key_,
                "exact group mixes chain topologies");
   BackendMetrics& metrics = backend_metrics(SolverKind::kExactCtmc);

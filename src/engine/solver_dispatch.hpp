@@ -91,14 +91,16 @@ std::string exact_topology_key(const RunPoint& point);
 /// skeleton once at construction. solve(point) is bitwise identical to
 /// dispatch_run(point) apart from solve_seconds, and throws per point, so
 /// a caller iterating a group can attribute failures to the right point
-/// and keep the results that did solve.
+/// and keep the results that did solve. solve() reuses the batch's scratch
+/// generator, so one group solver must not be shared across threads (the
+/// sweep runner hands each topology group to a single thread).
 class ExactGroupSolver {
  public:
   /// Builds the shared skeleton from any point of the group.
   explicit ExactGroupSolver(const RunPoint& representative);
 
   /// `point` must share the representative's topology key.
-  RunResult solve(const RunPoint& point) const;
+  RunResult solve(const RunPoint& point);
 
  private:
   std::string topology_key_;

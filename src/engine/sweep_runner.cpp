@@ -260,7 +260,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
         // others' results nor gets blamed on the wrong point. A skeleton
         // construction failure (invalid params) is shared by every member.
         try {
-          const ExactGroupSolver solver(points[group.front()]);
+          ExactGroupSolver solver(points[group.front()]);
           for (const std::size_t n : group) {
             try {
               store(n, solver.solve(points[n]));

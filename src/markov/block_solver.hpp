@@ -1,0 +1,71 @@
+// Block-tridiagonal direct stationary solver for level-structured CTMCs.
+//
+// The truncated (N_I, N_E) chains — including the phase-augmented chain —
+// only move between adjacent levels of N_I, so grouping states by level
+// yields a block-tridiagonal generator
+//
+//     [ A_0  B_0            ]
+//     [ C_1  A_1  B_1       ]
+//     [      C_2  A_2  ...  ]
+//
+// which GTH-style block elimination solves *exactly* in O(levels * block^3)
+// time and O(levels * block^2) memory instead of dense O(n^3) / O(n^2):
+// censoring the chain on levels 0..l gives the backward recursion
+//
+//     S_{L-1} = A_{L-1},   S_l = A_l + R_l C_{l+1},
+//     R_l     = B_l (-S_{l+1})^{-1},
+//
+// where R_l(r, c) is the expected number of visits to state c of level l+1
+// (before returning to level l+1... censored below l+1) per unit time spent
+// in state r of level l — in particular R_l >= 0 elementwise, so the
+// forward accumulation pi_{l+1} = pi_l R_l is subtraction-free like scalar
+// GTH. pi_0 solves the censored generator S_0 by dense GTH; the R factors
+// then roll the distribution back up level by level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/stationary.hpp"
+
+namespace esched {
+
+/// Solves the stationary distribution of a level-structured CTMC given as
+/// an off-diagonal rate matrix plus exit rates. `level_of[s]` assigns each
+/// state to a level; levels must be contiguous (0..L-1 all non-empty) and
+/// every transition must stay within a level or move to an adjacent one —
+/// violations throw esched::Error naming the offending structure. `info`
+/// (optional) reports iterations == 0, converged == true, and the measured
+/// residual, like the dense GTH path.
+Vector block_tridiagonal_stationary(const CsrMatrix& rates,
+                                    const Vector& exit_rates,
+                                    const std::vector<std::uint32_t>& level_of,
+                                    StationarySolveInfo* info = nullptr);
+
+/// Convenience overload for a frozen chain.
+Vector block_tridiagonal_stationary(const SparseCtmc& chain,
+                                    const std::vector<std::uint32_t>& level_of,
+                                    StationarySolveInfo* info = nullptr);
+
+/// Estimated peak workspace of block_tridiagonal_stationary for this level
+/// partition: the stored R factors (sum of b_l * b_{l+1} doubles) plus the
+/// dense per-level blocks (a few max-block-squared). Used by the exact
+/// backend's auto method selection to fall back to SOR rather than blow
+/// the memory budget on degenerate partitions (e.g. one giant level).
+std::size_t block_solver_workspace_bytes(
+    const std::vector<std::uint32_t>& level_of);
+
+/// Estimated floating-point work of block_tridiagonal_stationary on this
+/// chain. The elimination is only cheap when the fold densifies few
+/// columns: per interior level the factorization costs roughly
+/// b_l * m_l^2 (updates into the m_l fold-densified rows) plus m_l^3 (the
+/// trailing dense block), where m_l counts the level-l states that receive
+/// down-transitions. Chains whose every state is a down-target (m ~ b)
+/// degrade to dense O(levels * block^3) work, and auto method selection
+/// uses this estimate to prefer SOR there.
+double block_solver_flop_estimate(const CsrMatrix& rates,
+                                  const std::vector<std::uint32_t>& level_of);
+
+}  // namespace esched

@@ -7,7 +7,7 @@
 namespace esched {
 
 SparseCtmc::SparseCtmc(std::size_t num_states)
-    : num_states_(num_states), adj_(num_states), exit_rates_(num_states, 0.0) {
+    : num_states_(num_states), exit_rates_(num_states, 0.0) {
   ESCHED_CHECK(num_states > 0, "CTMC needs at least one state");
 }
 
@@ -18,29 +18,15 @@ void SparseCtmc::add_rate(std::size_t from, std::size_t to, double rate) {
   ESCHED_CHECK(from != to, "self-loops are not allowed in a CTMC generator");
   ESCHED_CHECK(rate >= 0.0, "transition rate must be non-negative");
   if (rate == 0.0) return;
-  adj_[from].push_back({from, to, rate});
+  pending_.push_back({from, to, rate});
   exit_rates_[from] += rate;
 }
 
 void SparseCtmc::freeze() {
   ESCHED_CHECK(!frozen_, "freeze() called twice");
-  for (auto& row : adj_) {
-    std::sort(row.begin(), row.end(),
-              [](const CtmcTransition& a, const CtmcTransition& b) {
-                return a.to < b.to;
-              });
-    // Merge duplicate destinations.
-    std::vector<CtmcTransition> merged;
-    merged.reserve(row.size());
-    for (const auto& t : row) {
-      if (!merged.empty() && merged.back().to == t.to) {
-        merged.back().rate += t.rate;
-      } else {
-        merged.push_back(t);
-      }
-    }
-    row = std::move(merged);
-  }
+  rates_ =
+      CsrMatrix::from_triplets(num_states_, num_states_, std::move(pending_));
+  pending_ = {};
   frozen_ = true;
 }
 
@@ -55,27 +41,32 @@ double SparseCtmc::max_exit_rate() const {
   return best;
 }
 
-const std::vector<CtmcTransition>& SparseCtmc::transitions_from(
-    std::size_t state) const {
+TransitionRange SparseCtmc::transitions_from(std::size_t state) const {
   ESCHED_CHECK(frozen_, "freeze() must be called before queries");
   ESCHED_CHECK(state < num_states_, "state out of range");
-  return adj_[state];
+  return TransitionRange(state, rates_.row_cols(state),
+                         rates_.row_values(state), rates_.row_nnz(state));
 }
 
 std::vector<CtmcTransition> SparseCtmc::all_transitions() const {
   ESCHED_CHECK(frozen_, "freeze() must be called before queries");
   std::vector<CtmcTransition> out;
-  for (const auto& row : adj_) out.insert(out.end(), row.begin(), row.end());
+  out.reserve(rates_.nnz());
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (const CtmcTransition t : transitions_from(s)) out.push_back(t);
+  }
   return out;
+}
+
+const CsrMatrix& SparseCtmc::rate_matrix() const {
+  ESCHED_CHECK(frozen_, "freeze() must be called before queries");
+  return rates_;
 }
 
 Matrix SparseCtmc::dense_generator() const {
   ESCHED_CHECK(frozen_, "freeze() must be called before queries");
-  Matrix q(num_states_, num_states_);
-  for (std::size_t s = 0; s < num_states_; ++s) {
-    for (const auto& t : adj_[s]) q(t.from, t.to) += t.rate;
-    q(s, s) = -exit_rates_[s];
-  }
+  Matrix q = rates_.to_dense();
+  for (std::size_t s = 0; s < num_states_; ++s) q(s, s) = -exit_rates_[s];
   return q;
 }
 

@@ -2,12 +2,15 @@
 //
 // States are dense indices 0..n-1; the caller owns the mapping from model
 // states (e.g., (i, j) job counts) to indices. Only off-diagonal rates are
-// stored; diagonals are implied by row sums.
+// stored; diagonals are implied by row sums. The build phase accumulates
+// flat triplets; freeze() compacts them into a CsrMatrix so the stationary
+// solvers sweep contiguous arrays instead of nested vectors.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "linalg/csr.hpp"
 #include "linalg/matrix.hpp"
 
 namespace esched {
@@ -19,7 +22,52 @@ struct CtmcTransition {
   double rate;
 };
 
-/// Sparse CTMC builder with per-state adjacency (CSR-like after freeze()).
+/// Lightweight random-access view of one state's outgoing transitions,
+/// backed by a frozen chain's CSR row. Iteration yields CtmcTransition by
+/// value, so existing range-for callers are unchanged.
+class TransitionRange {
+ public:
+  TransitionRange(std::size_t from, const std::size_t* cols,
+                  const double* rates, std::size_t size)
+      : from_(from), cols_(cols), rates_(rates), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  CtmcTransition operator[](std::size_t k) const {
+    return {from_, cols_[k], rates_[k]};
+  }
+
+  class iterator {
+   public:
+    using value_type = CtmcTransition;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(const TransitionRange* range, std::size_t k)
+        : range_(range), k_(k) {}
+    CtmcTransition operator*() const { return (*range_)[k_]; }
+    iterator& operator++() {
+      ++k_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return k_ == other.k_; }
+    bool operator!=(const iterator& other) const { return k_ != other.k_; }
+
+   private:
+    const TransitionRange* range_;
+    std::size_t k_;
+  };
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size_); }
+
+ private:
+  std::size_t from_;
+  const std::size_t* cols_;
+  const double* rates_;
+  std::size_t size_;
+};
+
+/// Sparse CTMC: triplet builder before freeze(), flat CSR after.
 class SparseCtmc {
  public:
   explicit SparseCtmc(std::size_t num_states);
@@ -30,7 +78,8 @@ class SparseCtmc {
   /// from != to. Duplicate (from, to) pairs accumulate.
   void add_rate(std::size_t from, std::size_t to, double rate);
 
-  /// Sorts and merges transitions; must be called before queries below.
+  /// Compacts the pending triplets into CSR (sorting each row by
+  /// destination and merging duplicates); must be called before queries.
   void freeze();
 
   bool frozen() const { return frozen_; }
@@ -41,11 +90,20 @@ class SparseCtmc {
   /// Largest exit rate over all states (the uniformization constant).
   double max_exit_rate() const;
 
-  /// Transitions leaving `state` (valid after freeze()).
-  const std::vector<CtmcTransition>& transitions_from(std::size_t state) const;
+  /// Transitions leaving `state` (valid after freeze()), sorted by
+  /// destination. The view borrows the chain's storage; it is valid only
+  /// while the chain is alive and unmodified.
+  TransitionRange transitions_from(std::size_t state) const;
 
   /// All transitions, grouped by source state.
   std::vector<CtmcTransition> all_transitions() const;
+
+  /// The frozen off-diagonal rate matrix (CSR). The diagonal is implied:
+  /// Q(s, s) = -exit_rate(s).
+  const CsrMatrix& rate_matrix() const;
+
+  /// All exit rates, indexed by state (valid before and after freeze()).
+  const Vector& exit_rates() const { return exit_rates_; }
 
   /// Dense generator matrix Q (rows sum to zero). Only sensible for small
   /// chains; used by the GTH solver and in tests.
@@ -54,8 +112,9 @@ class SparseCtmc {
  private:
   std::size_t num_states_;
   bool frozen_ = false;
-  std::vector<std::vector<CtmcTransition>> adj_;
-  std::vector<double> exit_rates_;
+  std::vector<CsrTriplet> pending_;
+  CsrMatrix rates_;
+  Vector exit_rates_;
 };
 
 }  // namespace esched

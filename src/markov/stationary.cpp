@@ -7,6 +7,26 @@
 
 namespace esched {
 
+const char* stationary_method_name(StationaryMethod method) {
+  switch (method) {
+    case StationaryMethod::kAuto: return "auto";
+    case StationaryMethod::kGth: return "gth";
+    case StationaryMethod::kSor: return "sor";
+    case StationaryMethod::kBlock: return "block";
+  }
+  ESCHED_ASSERT(false, "unreachable stationary method");
+  return "";
+}
+
+StationaryMethod parse_stationary_method(const std::string& name) {
+  if (name == "auto") return StationaryMethod::kAuto;
+  if (name == "gth") return StationaryMethod::kGth;
+  if (name == "sor") return StationaryMethod::kSor;
+  if (name == "block") return StationaryMethod::kBlock;
+  throw Error("unknown stationary method '" + name +
+              "' (expected auto, gth, sor, or block)");
+}
+
 Vector gth_stationary(Matrix q) {
   ESCHED_CHECK(q.rows() == q.cols(), "generator must be square");
   const std::size_t n = q.rows();
@@ -41,46 +61,87 @@ Vector gth_stationary(const SparseCtmc& chain) {
   return gth_stationary(chain.dense_generator());
 }
 
+Vector gth_stationary(const CsrMatrix& rates, const Vector& exit_rates) {
+  ESCHED_CHECK(rates.rows() == rates.cols(), "generator must be square");
+  ESCHED_CHECK(exit_rates.size() == rates.rows(),
+               "exit-rate dimension mismatch");
+  Matrix q = rates.to_dense();
+  for (std::size_t s = 0; s < rates.rows(); ++s) q(s, s) = -exit_rates[s];
+  return gth_stationary(std::move(q));
+}
+
 namespace {
 
-/// Incoming adjacency: for each state, the transitions that enter it.
-std::vector<std::vector<CtmcTransition>> incoming_adjacency(
-    const SparseCtmc& chain) {
-  std::vector<std::vector<CtmcTransition>> in(chain.num_states());
-  for (std::size_t s = 0; s < chain.num_states(); ++s) {
-    for (const auto& t : chain.transitions_from(s)) in[t.to].push_back(t);
+/// Residual computed from the in-adjacency (the transpose the SOR sweep
+/// already built): bitwise identical to the scatter form below, because for
+/// each target state the incoming contributions arrive in ascending source
+/// order with the -pi[s] * exit term interleaved exactly where source == s
+/// falls in that order.
+double residual_from_incoming(const CsrMatrix& in, const Vector& exit_rates,
+                              const Vector& pi) {
+  const std::size_t n = in.rows();
+  double worst = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t* from = in.row_cols(s);
+    const double* rate = in.row_values(s);
+    const std::size_t nnz = in.row_nnz(s);
+    double acc = 0.0;
+    bool subtracted = false;
+    for (std::size_t k = 0; k < nnz; ++k) {
+      if (!subtracted && from[k] > s) {
+        acc -= pi[s] * exit_rates[s];
+        subtracted = true;
+      }
+      acc += pi[from[k]] * rate[k];
+    }
+    if (!subtracted) acc -= pi[s] * exit_rates[s];
+    worst = std::max(worst, std::abs(acc));
   }
-  return in;
+  return worst;
 }
 
 }  // namespace
 
-double stationary_residual(const SparseCtmc& chain, const Vector& pi) {
-  ESCHED_CHECK(pi.size() == chain.num_states(), "pi dimension mismatch");
-  Vector flow(chain.num_states(), 0.0);
-  for (std::size_t s = 0; s < chain.num_states(); ++s) {
-    flow[s] -= pi[s] * chain.exit_rate(s);
-    for (const auto& t : chain.transitions_from(s)) {
-      flow[t.to] += pi[s] * t.rate;
-    }
+double stationary_residual(const CsrMatrix& rates, const Vector& exit_rates,
+                           const Vector& pi) {
+  ESCHED_CHECK(pi.size() == rates.rows(), "pi dimension mismatch");
+  Vector flow(rates.rows(), 0.0);
+  for (std::size_t s = 0; s < rates.rows(); ++s) {
+    flow[s] -= pi[s] * exit_rates[s];
+    const std::size_t* to = rates.row_cols(s);
+    const double* rate = rates.row_values(s);
+    const std::size_t nnz = rates.row_nnz(s);
+    for (std::size_t k = 0; k < nnz; ++k) flow[to[k]] += pi[s] * rate[k];
   }
   return max_abs(flow);
 }
 
-Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
-                      double omega, StationarySolveInfo* info) {
+double stationary_residual(const SparseCtmc& chain, const Vector& pi) {
+  return stationary_residual(chain.rate_matrix(), chain.exit_rates(), pi);
+}
+
+Vector sor_stationary(const CsrMatrix& rates, const Vector& exit_rates,
+                      double tol, int max_iters, double omega,
+                      StationarySolveInfo* info) {
   ESCHED_CHECK(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
-  const std::size_t n = chain.num_states();
-  const auto in = incoming_adjacency(chain);
+  ESCHED_CHECK(exit_rates.size() == rates.rows(),
+               "exit-rate dimension mismatch");
+  const std::size_t n = rates.rows();
+  // One transpose per solve: the Gauss-Seidel update of pi[s] gathers over
+  // the transitions *entering* s, and the convergence check reuses it.
+  const CsrMatrix in = rates.transposed();
   Vector pi(n, 1.0 / static_cast<double>(n));
   StationarySolveInfo local;
   for (local.iterations = 1; local.iterations <= max_iters;
        ++local.iterations) {
     for (std::size_t s = 0; s < n; ++s) {
-      const double exit = chain.exit_rate(s);
+      const double exit = exit_rates[s];
       if (exit == 0.0) continue;  // absorbing states keep their mass
+      const std::size_t* from = in.row_cols(s);
+      const double* rate = in.row_values(s);
+      const std::size_t nnz = in.row_nnz(s);
       double inflow = 0.0;
-      for (const auto& t : in[s]) inflow += pi[t.from] * t.rate;
+      for (std::size_t k = 0; k < nnz; ++k) inflow += pi[from[k]] * rate[k];
       const double gs = inflow / exit;
       pi[s] = (1.0 - omega) * pi[s] + omega * gs;
     }
@@ -88,7 +149,7 @@ Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
     // Checking the residual every sweep would double the work; every 10th
     // sweep keeps the overhead low while stopping promptly.
     if (local.iterations % 10 == 0 || local.iterations == max_iters) {
-      local.residual = stationary_residual(chain, pi);
+      local.residual = residual_from_incoming(in, exit_rates, pi);
       if (local.residual < tol) {
         local.converged = true;
         break;
@@ -102,23 +163,45 @@ Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
   return pi;
 }
 
-Vector power_stationary(const SparseCtmc& chain, double tol, int max_iters,
+Vector sor_stationary(const SparseCtmc& chain, double tol, int max_iters,
+                      double omega, StationarySolveInfo* info) {
+  return sor_stationary(chain.rate_matrix(), chain.exit_rates(), tol,
+                        max_iters, omega, info);
+}
+
+Vector power_stationary(const CsrMatrix& rates, const Vector& exit_rates,
+                        double tol, int max_iters,
                         StationarySolveInfo* info) {
-  const std::size_t n = chain.num_states();
+  ESCHED_CHECK(exit_rates.size() == rates.rows(),
+               "exit-rate dimension mismatch");
+  const std::size_t n = rates.rows();
   // Strictly exceed the max exit rate so the uniformized DTMC is aperiodic.
-  const double uniformization = chain.max_exit_rate() * 1.05 + 1e-9;
+  double max_exit = 0.0;
+  for (double r : exit_rates) max_exit = std::max(max_exit, r);
+  const double uniformization = max_exit * 1.05 + 1e-9;
+  const CsrMatrix in = rates.transposed();
   Vector pi(n, 1.0 / static_cast<double>(n));
   Vector next(n, 0.0);
   StationarySolveInfo local;
   for (local.iterations = 1; local.iterations <= max_iters;
        ++local.iterations) {
-    std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t s = 0; s < n; ++s) {
-      const double stay = 1.0 - chain.exit_rate(s) / uniformization;
-      next[s] += pi[s] * stay;
-      for (const auto& t : chain.transitions_from(s)) {
-        next[t.to] += pi[s] * t.rate / uniformization;
+      // Gather form of pi P: incoming contributions in ascending source
+      // order, with the stay term interleaved where source == s falls.
+      const std::size_t* from = in.row_cols(s);
+      const double* rate = in.row_values(s);
+      const std::size_t nnz = in.row_nnz(s);
+      double acc = 0.0;
+      bool stayed = false;
+      for (std::size_t k = 0; k < nnz; ++k) {
+        if (!stayed && from[k] > s) {
+          acc += pi[s] * (1.0 - exit_rates[s] / uniformization);
+          stayed = true;
+        }
+        acc += pi[from[k]] * rate[k] / uniformization;
       }
+      if (!stayed) acc += pi[s] * (1.0 - exit_rates[s] / uniformization);
+      next[s] = acc;
     }
     double delta = 0.0;
     for (std::size_t s = 0; s < n; ++s) {
@@ -132,9 +215,15 @@ Vector power_stationary(const SparseCtmc& chain, double tol, int max_iters,
   }
   local.iterations = std::min(local.iterations, max_iters);
   normalize_probability(pi);
-  local.residual = stationary_residual(chain, pi);
+  local.residual = residual_from_incoming(in, exit_rates, pi);
   if (info != nullptr) *info = local;
   return pi;
+}
+
+Vector power_stationary(const SparseCtmc& chain, double tol, int max_iters,
+                        StationarySolveInfo* info) {
+  return power_stationary(chain.rate_matrix(), chain.exit_rates(), tol,
+                          max_iters, info);
 }
 
 }  // namespace esched

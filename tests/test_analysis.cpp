@@ -12,6 +12,7 @@
 #include "core/exact_ctmc.hpp"
 #include "core/if_analysis.hpp"
 #include "core/policies.hpp"
+#include "phase/phase_type.hpp"
 #include "queueing/mm1.hpp"
 #include "queueing/mmk.hpp"
 
@@ -182,17 +183,70 @@ TEST(ExactCtmc, SuggestedTruncationScalesWithLoad) {
   EXPECT_THROW(suggested_truncation(1.5), Error);
 }
 
-TEST(ExactCtmc, GthAndSorPathsAgree) {
+TEST(ExactCtmc, AllStationaryMethodsAgree) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  ExactCtmcOptions base;
+  base.imax = 20;
+  base.jmax = 20;  // 441 states
+  ExactCtmcResult by_method[3];
+  const StationaryMethod methods[] = {StationaryMethod::kGth,
+                                      StationaryMethod::kSor,
+                                      StationaryMethod::kBlock};
+  for (int m = 0; m < 3; ++m) {
+    ExactCtmcOptions options = base;
+    options.method = methods[m];
+    by_method[m] = solve_exact_ctmc(p, InelasticFirst{}, options);
+    EXPECT_EQ(by_method[m].solve_info.method,
+              stationary_method_name(methods[m]));
+  }
+  // The two direct solvers agree to near machine precision; SOR to its
+  // convergence tolerance.
+  EXPECT_NEAR(by_method[0].mean_response_time,
+              by_method[2].mean_response_time, 1e-10);
+  EXPECT_NEAR(by_method[0].mean_jobs_i, by_method[2].mean_jobs_i, 1e-10);
+  EXPECT_NEAR(by_method[0].mean_response_time,
+              by_method[1].mean_response_time, 1e-7);
+}
+
+TEST(ExactCtmc, AutoSelectsGthSmallAndBlockLarge) {
   const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
   ExactCtmcOptions small;
-  small.imax = 20;
-  small.jmax = 20;  // 441 states -> GTH path
-  small.gth_state_limit = 500;
-  ExactCtmcOptions sor = small;
-  sor.gth_state_limit = 1;  // force SOR
-  const ExactCtmcResult a = solve_exact_ctmc(p, InelasticFirst{}, small);
-  const ExactCtmcResult b = solve_exact_ctmc(p, InelasticFirst{}, sor);
+  small.imax = 10;
+  small.jmax = 10;  // 121 states <= gth_state_limit
+  EXPECT_EQ(solve_exact_ctmc(p, InelasticFirst{}, small).solve_info.method,
+            "gth");
+  ExactCtmcOptions large;
+  large.imax = 30;
+  large.jmax = 30;  // 961 states > gth_state_limit -> block
+  EXPECT_EQ(solve_exact_ctmc(p, InelasticFirst{}, large).solve_info.method,
+            "block");
+}
+
+TEST(ExactCtmc, ExplicitGthRejectsChainOverDenseLimit) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.5);
+  ExactCtmcOptions options;
+  options.imax = 100;
+  options.jmax = 100;  // 10201 states > the 5000-state dense limit
+  options.method = StationaryMethod::kGth;
+  EXPECT_THROW(solve_exact_ctmc(p, InelasticFirst{}, options), Error);
+}
+
+TEST(ExactCtmc, PhaseTypeBlockAgreesWithSor) {
+  const SystemParams p = SystemParams::from_load(2, 1.0, 1.0, 0.6);
+  const PhaseType erl2 = PhaseType::erlang(2, 2.0 * p.mu_i);
+  ExactCtmcOptions block;
+  block.imax = 12;
+  block.jmax = 12;
+  block.method = StationaryMethod::kBlock;
+  ExactCtmcOptions sor = block;
+  sor.method = StationaryMethod::kSor;
+  const ExactCtmcResult a = solve_exact_ctmc_ph(p, ElasticFirst{}, erl2, block);
+  const ExactCtmcResult b = solve_exact_ctmc_ph(p, ElasticFirst{}, erl2, sor);
+  EXPECT_EQ(a.solve_info.method, "block");
+  EXPECT_EQ(b.solve_info.method, "sor");
+  EXPECT_EQ(a.num_states, b.num_states);
   EXPECT_NEAR(a.mean_response_time, b.mean_response_time, 1e-7);
+  EXPECT_NEAR(a.mean_jobs_i, b.mean_jobs_i, 1e-7);
 }
 
 }  // namespace

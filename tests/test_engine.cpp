@@ -199,9 +199,10 @@ TEST(Dispatch, ExactMatchesDirectSolveAndReportsSolveInfo) {
       solve_exact_ctmc(p, *make_fair_share(), options);
   EXPECT_DOUBLE_EQ(result.mean_response_time, direct.mean_response_time);
   EXPECT_DOUBLE_EQ(result.boundary_mass, direct.boundary_mass);
-  // 41x41 states > gth_state_limit, so the SOR path ran and its cost must
-  // surface through the result (the satellite fix this PR ships).
-  EXPECT_GT(result.solver_iterations, 0);
+  // 41x41 states > gth_state_limit, so auto picks the direct block solver:
+  // no sweeps, and the residual still surfaces through the result.
+  EXPECT_EQ(direct.solve_info.method, "block");
+  EXPECT_EQ(result.solver_iterations, 0);
   EXPECT_LT(result.solve_residual, 1e-11);
   EXPECT_TRUE(direct.solve_info.converged);
 }
@@ -374,7 +375,7 @@ TEST(ExactBatch, MatchesUnbatchedSolveBitwise) {
   const SystemParams p = SystemParams::from_load(4, 2.0, 1.0, 0.8);
   ExactCtmcOptions options;
   options.imax = options.jmax = 30;
-  const ExactCtmcBatch batch(p, options);
+  ExactCtmcBatch batch(p, options);
   for (const auto& policy :
        {make_inelastic_first(), make_elastic_first(), make_fair_share(),
         make_inelastic_cap(2)}) {

@@ -1,7 +1,9 @@
-// Unit tests for the dense linear algebra substrate.
+// Unit tests for the dense linear algebra substrate and the CSR sparse
+// representation behind the stationary solvers.
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "linalg/csr.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
@@ -150,6 +152,90 @@ TEST(Lu, SingularMatrixThrows) {
 
 TEST(Lu, RejectsNonSquare) {
   EXPECT_THROW(LuFactorization{Matrix(2, 3)}, Error);
+}
+
+TEST(Csr, FromTripletsRoundTripsThroughDense) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 4, {{2, 0, 5.0}, {0, 3, 1.0}, {0, 1, 2.0}, {1, 2, -3.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 4u);
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), -3.0);
+  EXPECT_DOUBLE_EQ(d(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+  // Rows are sorted by column regardless of triplet input order.
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_cols(0)[0], 1u);
+  EXPECT_EQ(m.row_cols(0)[1], 3u);
+}
+
+TEST(Csr, FromTripletsMergesDuplicatesAndChecksBounds) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {1, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 1), 4.0);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}), Error);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, 2, 1.0}}), Error);
+}
+
+TEST(Csr, TransposeMatchesDenseTranspose) {
+  // Includes an empty row (1) and an empty column (0) to exercise the
+  // counting-sort bookkeeping off the happy path.
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {{0, 1, 1.0}, {0, 2, 2.0}, {2, 1, 3.0}, {2, 2, 4.0}});
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 3u);
+  const Matrix td = t.to_dense();
+  const Matrix d = m.to_dense();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(td(r, c), d(c, r));
+    }
+  }
+  // Within each transposed row, entries keep ascending original-row order
+  // (the sweep-order contract the stationary solvers depend on).
+  EXPECT_EQ(t.row_nnz(1), 2u);
+  EXPECT_EQ(t.row_cols(1)[0], 0u);
+  EXPECT_EQ(t.row_cols(1)[1], 2u);
+}
+
+TEST(Csr, MultiplyMatchesDenseMatvec) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 2.0}, {0, 2, 1.0}, {1, 1, -1.0}, {2, 0, 4.0}});
+  const Vector x = {1.0, 2.0, 3.0};
+  const Vector y = m.multiply(x);
+  const Vector expect = matvec(m.to_dense(), x);
+  ASSERT_EQ(y.size(), expect.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  }
+}
+
+TEST(Csr, StreamingRebuildReusesShape) {
+  CsrMatrix m;
+  m.begin_rows(2, 3);
+  EXPECT_FALSE(m.complete());
+  m.push(0, 1.0);
+  m.push(2, 2.0);
+  m.next_row();
+  m.push(1, 3.0);
+  m.next_row();
+  ASSERT_TRUE(m.complete());
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.to_dense()(1, 1), 3.0);
+  // Rebuild with different values and fewer entries: old contents vanish.
+  m.begin_rows(2, 3);
+  m.push(1, 9.0);
+  m.next_row();
+  m.next_row();
+  ASSERT_TRUE(m.complete());
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(m.to_dense()(1, 1), 0.0);
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "common/error.hpp"
 #include "markov/absorbing.hpp"
 #include "markov/birth_death.hpp"
+#include "markov/block_solver.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/stationary.hpp"
 
@@ -198,6 +200,267 @@ TEST(BirthDeath, RejectsBadInput) {
   EXPECT_THROW(birth_death_descent_moments({}, {}), Error);
   EXPECT_THROW(birth_death_descent_moments({1.0}, {0.0}), Error);
   EXPECT_THROW(birth_death_descent_moments({-1.0}, {1.0}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise reference tests: the CSR-backed solvers must reproduce the
+// pre-CSR nested-vector algorithms EXACTLY (same floating-point
+// accumulation order), so cached sweep results stay byte-identical. The
+// references below are the old implementations, verbatim apart from the
+// adjacency container.
+
+Vector reference_sor(const SparseCtmc& chain, double tol, int max_iters,
+                     double omega, StationarySolveInfo* info) {
+  const std::size_t n = chain.num_states();
+  std::vector<std::vector<CtmcTransition>> in(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& t : chain.transitions_from(s)) in[t.to].push_back(t);
+  }
+  const auto residual = [&](const Vector& pi) {
+    Vector flow(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      flow[s] -= pi[s] * chain.exit_rate(s);
+      for (const auto& t : chain.transitions_from(s)) {
+        flow[t.to] += pi[s] * t.rate;
+      }
+    }
+    return max_abs(flow);
+  };
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  StationarySolveInfo local;
+  for (local.iterations = 1; local.iterations <= max_iters;
+       ++local.iterations) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const double exit = chain.exit_rate(s);
+      if (exit == 0.0) continue;
+      double inflow = 0.0;
+      for (const auto& t : in[s]) inflow += pi[t.from] * t.rate;
+      const double gs = inflow / exit;
+      pi[s] = (1.0 - omega) * pi[s] + omega * gs;
+    }
+    normalize_probability(pi);
+    if (local.iterations % 10 == 0 || local.iterations == max_iters) {
+      local.residual = residual(pi);
+      if (local.residual < tol) {
+        local.converged = true;
+        break;
+      }
+    }
+  }
+  local.iterations = std::min(local.iterations, max_iters);
+  if (info != nullptr) *info = local;
+  return pi;
+}
+
+Vector reference_power(const SparseCtmc& chain, double tol, int max_iters) {
+  const std::size_t n = chain.num_states();
+  const double uniformization = chain.max_exit_rate() * 1.05 + 1e-9;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector next(n, 0.0);
+  for (int iter = 1; iter <= max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double stay = 1.0 - chain.exit_rate(s) / uniformization;
+      next[s] += pi[s] * stay;
+      for (const auto& t : chain.transitions_from(s)) {
+        next[t.to] += pi[s] * t.rate / uniformization;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      delta = std::max(delta, std::abs(next[s] - pi[s]));
+    }
+    pi.swap(next);
+    if (delta * uniformization < tol) break;
+  }
+  normalize_probability(pi);
+  return pi;
+}
+
+/// A 5x3 two-dimensional chain, level-structured along i: up/down rates
+/// between adjacent levels plus within-level hops, all state-dependent so
+/// no accidental symmetry hides accumulation-order differences.
+SparseCtmc grid_chain() {
+  const std::size_t ni = 5, nj = 3;
+  SparseCtmc chain(ni * nj);
+  const auto id = [&](std::size_t i, std::size_t j) { return i * nj + j; };
+  for (std::size_t i = 0; i < ni; ++i) {
+    for (std::size_t j = 0; j < nj; ++j) {
+      if (i + 1 < ni) chain.add_rate(id(i, j), id(i + 1, j), 1.0 + 0.3 * j);
+      if (i > 0) chain.add_rate(id(i, j), id(i - 1, j), 2.0 + 0.1 * i);
+      if (j + 1 < nj) chain.add_rate(id(i, j), id(i, j + 1), 0.5);
+      if (j > 0) chain.add_rate(id(i, j), id(i, j - 1), 0.7);
+    }
+  }
+  chain.freeze();
+  return chain;
+}
+
+std::vector<std::uint32_t> grid_levels() {
+  std::vector<std::uint32_t> level_of(15);
+  for (std::size_t s = 0; s < 15; ++s) {
+    level_of[s] = static_cast<std::uint32_t>(s / 3);
+  }
+  return level_of;
+}
+
+TEST(Stationary, SorCsrBitwiseMatchesNestedVectorReference) {
+  for (const SparseCtmc& chain : {mm1_chain(40, 0.7, 1.0), grid_chain()}) {
+    StationarySolveInfo ref_info, csr_info;
+    const Vector ref = reference_sor(chain, 1e-12, 5000, 1.2, &ref_info);
+    const Vector csr = sor_stationary(chain, 1e-12, 5000, 1.2, &csr_info);
+    ASSERT_EQ(ref.size(), csr.size());
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+      EXPECT_EQ(ref[s], csr[s]) << "state " << s;  // bitwise, not NEAR
+    }
+    EXPECT_EQ(ref_info.iterations, csr_info.iterations);
+    EXPECT_EQ(ref_info.residual, csr_info.residual);
+    EXPECT_EQ(ref_info.converged, csr_info.converged);
+  }
+}
+
+TEST(Stationary, PowerCsrBitwiseMatchesReference) {
+  for (const SparseCtmc& chain : {mm1_chain(30, 0.5, 1.0), grid_chain()}) {
+    const Vector ref = reference_power(chain, 1e-10, 100000);
+    const Vector csr = power_stationary(chain, 1e-10, 100000, nullptr);
+    ASSERT_EQ(ref.size(), csr.size());
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+      EXPECT_EQ(ref[s], csr[s]) << "state " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block-tridiagonal direct solver.
+
+TEST(BlockSolver, MatchesGthOnBirthDeath) {
+  const SparseCtmc chain = mm1_chain(50, 0.8, 1.0);
+  std::vector<std::uint32_t> level_of(50);
+  for (std::size_t s = 0; s < 50; ++s) {
+    level_of[s] = static_cast<std::uint32_t>(s);
+  }
+  const Vector exact = gth_stationary(chain);
+  StationarySolveInfo info;
+  const Vector block = block_tridiagonal_stationary(chain, level_of, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_EQ(info.iterations, 0);
+  EXPECT_LT(info.residual, 1e-12);
+  for (std::size_t s = 0; s < 50; ++s) {
+    EXPECT_NEAR(block[s], exact[s], 1e-12) << "state " << s;
+  }
+}
+
+TEST(BlockSolver, MatchesGthOnTwoDimensionalChain) {
+  const SparseCtmc chain = grid_chain();
+  const Vector exact = gth_stationary(chain);
+  const Vector block =
+      block_tridiagonal_stationary(chain, grid_levels(), nullptr);
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    EXPECT_NEAR(block[s], exact[s], 1e-13) << "state " << s;
+  }
+}
+
+TEST(BlockSolver, RandomizedChainsAgreeWithGth) {
+  // Random level-structured irreducible chains: a guaranteed up/down
+  // ladder through each level's first state, every state tied to its
+  // level's first state both ways, plus random extra edges.
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> rate(0.1, 2.0);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t num_levels = 2 + trial % 5;
+    std::vector<std::uint32_t> level_of;
+    std::vector<std::size_t> first;
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      const std::size_t size = 1 + rng() % 3;
+      first.push_back(level_of.size());
+      for (std::size_t b = 0; b < size; ++b) {
+        level_of.push_back(static_cast<std::uint32_t>(l));
+      }
+    }
+    const std::size_t n = level_of.size();
+    SparseCtmc chain(n);
+    for (std::size_t l = 0; l + 1 < num_levels; ++l) {
+      chain.add_rate(first[l], first[l + 1], rate(rng));
+      chain.add_rate(first[l + 1], first[l], rate(rng));
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t anchor = first[level_of[s]];
+      if (s != anchor) {
+        chain.add_rate(s, anchor, rate(rng));
+        chain.add_rate(anchor, s, rate(rng));
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        const long diff = static_cast<long>(level_of[s]) -
+                          static_cast<long>(level_of[t]);
+        if (s == t || diff < -1 || diff > 1) continue;
+        if (coin(rng) == 1) chain.add_rate(s, t, rate(rng));
+      }
+    }
+    chain.freeze();
+    const Vector exact = gth_stationary(chain);
+    const Vector block =
+        block_tridiagonal_stationary(chain, level_of, nullptr);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_NEAR(block[s], exact[s], 1e-11)
+          << "trial " << trial << " state " << s;
+    }
+  }
+}
+
+TEST(BlockSolver, RejectsNonAdjacentLevelJumps) {
+  SparseCtmc chain(3);
+  chain.add_rate(0, 2, 1.0);  // jumps level 0 -> 2
+  chain.add_rate(2, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.freeze();
+  EXPECT_THROW(block_tridiagonal_stationary(chain, {0, 1, 2}, nullptr),
+               Error);
+}
+
+TEST(BlockSolver, RejectsLevelWithNoDownTransitions) {
+  // 0 -> 1 only: level 1 cannot descend, so level 0 is transient and the
+  // censored blocks are singular; the solver must refuse loudly (auto
+  // method selection falls back to SOR on this error).
+  SparseCtmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.freeze();
+  EXPECT_THROW(block_tridiagonal_stationary(chain, {0, 1}, nullptr), Error);
+}
+
+TEST(BlockSolver, RejectsEmptyLevel) {
+  SparseCtmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.freeze();
+  // Levels {0, 2} skip level 1.
+  EXPECT_THROW(block_tridiagonal_stationary(chain, {0, 2}, nullptr), Error);
+}
+
+TEST(BlockSolver, WorkspaceEstimateScalesWithBlockSizes) {
+  // 2 levels of 3 states: R is 3x3 plus 3 dense 3x3 scratch blocks.
+  const std::vector<std::uint32_t> level_of = {0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(block_solver_workspace_bytes(level_of),
+            (9 + 3 * 9) * sizeof(double));
+  EXPECT_EQ(block_solver_workspace_bytes({}), 0u);
+}
+
+TEST(BlockSolver, FlopEstimateCountsFoldDensifiedColumns) {
+  // Grid chain: levels 0..3 each have all 3 states hit by down-transitions
+  // (m = 3); level 4 has nothing above it (m = 0). Estimate =
+  // b0^3 + sum_{l=1..3} (b_l m_l^2 + m_l^3) = 27 + 3 * (27 + 27) = 189.
+  const SparseCtmc grid = grid_chain();
+  EXPECT_DOUBLE_EQ(
+      block_solver_flop_estimate(grid.rate_matrix(), grid_levels()), 189.0);
+  // A birth-death line has one down-target per level: the estimate grows
+  // linearly in levels, so auto keeps picking the direct solver there.
+  const SparseCtmc line = mm1_chain(41, 0.7, 1.0);
+  std::vector<std::uint32_t> levels(41);
+  for (std::size_t s = 0; s < levels.size(); ++s) {
+    levels[s] = static_cast<std::uint32_t>(s);
+  }
+  EXPECT_DOUBLE_EQ(block_solver_flop_estimate(line.rate_matrix(), levels),
+                   1.0 + 39.0 * 2.0);
 }
 
 }  // namespace
