@@ -12,6 +12,9 @@ namespace fs = std::filesystem;
 
 bool atomic_move(const std::string& from, const std::string& to) {
   std::error_code ec;
+  // esched-lint: allow(raw-file-io): this rename IS the queue's atomic
+  // claim/requeue primitive — it moves an already-complete file between
+  // protocol directories, it never publishes new content.
   fs::rename(from, to, ec);
   if (!ec) return true;
   // The one *expected* failure is losing a claim/requeue race: the source

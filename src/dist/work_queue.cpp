@@ -12,6 +12,7 @@
 
 #include "common/atomic_file.hpp"
 #include "common/error.hpp"
+#include "common/invariants.hpp"
 #include "common/json.hpp"
 #include "engine/report.hpp"
 #include "obs/metrics.hpp"
@@ -379,6 +380,13 @@ bool WorkQueue::is_failed(std::size_t chunk) const {
 
 void WorkQueue::record_failure(const ChunkTask& task, const std::string& owner,
                                const std::string& error) const {
+  // A terminal-failure marker must name an in-range chunk and carry the
+  // solver's message — status/collect surface it verbatim, and an empty
+  // error would read as a torn marker.
+  ESCHED_DEBUG_CHECK(require(task.chunk < manifest_.num_chunks &&
+                                 !error.empty(),
+                             "WorkQueue::record_failure",
+                             "failure marker without chunk/error"));
   if (is_done(task.chunk)) return;  // someone else's solve landed: not failed
   JsonValue record = JsonValue::make_object();
   record.set("chunk",
@@ -465,6 +473,13 @@ LightCounts WorkQueue::light_counts() const {
 }
 
 bool WorkQueue::claim(const ChunkTask& task, const std::string& owner) const {
+  // Lease-state transition: only an in-range pending task may become a
+  // lease. An out-of-range chunk here means a foreign or hand-edited task
+  // file slipped past pending_tasks()'s filters.
+  ESCHED_DEBUG_CHECK(require(
+      task.chunk < manifest_.num_chunks && task.begin <= task.end &&
+          task.end <= manifest_.total_points,
+      "WorkQueue::claim", "task outside the manifest's chunk/point range"));
   DistMetrics& metrics = dist_metrics();
   const ScopedTimer timer(metrics.claim_seconds);
   // Freshen the task BEFORE the claiming rename: rename preserves mtime,
@@ -497,6 +512,13 @@ std::size_t WorkQueue::reclaim_expired(double lease_ttl_seconds) const {
   std::size_t requeued = 0;
   for (const LeaseInfo& lease : leases()) {
     if (lease.age_seconds <= lease_ttl_seconds) continue;
+    // Lease-state transition: only an expired, in-range lease may go back
+    // to pending. leases() filters out-of-range names, so a violation here
+    // means the scan or the expiry arithmetic regressed.
+    ESCHED_DEBUG_CHECK(require(
+        lease.chunk < manifest_.num_chunks &&
+            lease.age_seconds > lease_ttl_seconds,
+        "WorkQueue::reclaim_expired", "requeue of a live or foreign lease"));
     if (is_done(lease.chunk)) {
       // The owner died between its done marker and the lease removal —
       // the chunk is finished; just drop the stale lease.
@@ -582,6 +604,11 @@ void WorkQueue::commit(const ChunkTask& task, const std::string& owner,
   record.set("owner", JsonValue::make_string(owner));
   record.set("solve_seconds", JsonValue::make_number(stats.wall_seconds));
   atomic_write_file(done_path(task.chunk), record.dump() + "\n");
+  // Commit-order invariant: once the done marker is published the chunk
+  // must read as done (done_path and is_done agree), or status/collect
+  // would re-solve a committed chunk forever.
+  ESCHED_DEBUG_CHECK(require(is_done(task.chunk), "WorkQueue::commit",
+                             "done marker published but is_done() is false"));
 
   std::error_code ec;
   fs::remove(lease_path(task.chunk), ec);  // best-effort; expiry cleans up

@@ -10,10 +10,7 @@
 #include <set>
 #include <sstream>
 
-#if __has_include(<unistd.h>)
-#include <unistd.h>
-#endif
-
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 #include "common/numeric.hpp"
 #include "obs/metrics.hpp"
@@ -203,19 +200,17 @@ void DiskResultCache::store(const std::string& key,
                             const RunResult& result) const {
   CacheMetrics& metrics = cache_metrics();
   const ScopedTimer timer(metrics.store_seconds, &metrics.stores);
-  // Unique temp name per store (pid + in-process counter), then atomic
-  // rename: concurrent shard processes may race on the same key and either
-  // complete file wins.
-  static std::atomic<std::uint64_t> counter{0};
-#if __has_include(<unistd.h>)
-  const long pid = static_cast<long>(::getpid());
-#else
-  const long pid = 0;
-#endif
+  // Unique temp name (pid + in-process counter, shared discipline from
+  // common/atomic_file), streamed serialization, then atomic publish:
+  // concurrent shard processes may race on the same key and either
+  // complete file wins. An unwritable cache silently skips persistence —
+  // the cache is an accelerator, not a correctness dependency — hence the
+  // try/catch around the publish instead of atomic_write_file's throw.
   const std::string path = entry_path(key);
-  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
-                          std::to_string(counter.fetch_add(1));
+  const std::string tmp = unique_tmp_path(path);
   {
+    // esched-lint: allow(raw-file-io): streams into a unique temp name
+    // from common/atomic_file; published below via atomic_publish_file.
     std::ofstream out(tmp);
     if (!out.good()) return;  // unwritable cache: silently skip persistence
     out << "key " << key << '\n' << serialize_run_result(result);
@@ -225,9 +220,11 @@ void DiskResultCache::store(const std::string& key,
       return;
     }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::remove(tmp.c_str());
+  try {
+    atomic_publish_file(tmp, path);
+  } catch (const Error&) {
+    // atomic_publish_file already removed the temp file on failure.
+  }
 }
 
 std::vector<CacheEntryInfo> DiskResultCache::list_entries(

@@ -299,7 +299,9 @@ std::string exact_topology_key(const RunPoint& point) {
   // The cache key minus the policy field: exactly the inputs that shape
   // the chain topology (params + resolved truncation).
   RunPoint keyed = point;
-  keyed.policy = "*";
+  // std::string("*") (move-assign) rather than = "*": GCC 12's -Wrestrict
+  // false-positives on char_traits::copy inlined from assign(const char*).
+  keyed.policy = std::string("*");
   return keyed.cache_key();
 }
 

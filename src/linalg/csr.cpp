@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/invariants.hpp"
 
 namespace esched {
 
@@ -36,6 +37,7 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
     m.next_row();
     ++row;
   }
+  ESCHED_DEBUG_CHECK(check_csr(m, "CsrMatrix::from_triplets"));
   return m;
 }
 
@@ -89,6 +91,7 @@ CsrMatrix CsrMatrix::transposed() const {
       t.values_[slot] = values_[k];
     }
   }
+  ESCHED_DEBUG_CHECK(check_csr(t, "CsrMatrix::transposed"));
   return t;
 }
 

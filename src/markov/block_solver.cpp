@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/invariants.hpp"
 #include "linalg/lu.hpp"
 
 namespace esched {
@@ -231,6 +232,8 @@ Vector block_tridiagonal_stationary(const CsrMatrix& rates,
   ESCHED_CHECK(rates.rows() == rates.cols(), "generator must be square");
   const std::size_t n = rates.rows();
   ESCHED_CHECK(exit_rates.size() == n, "exit-rate dimension mismatch");
+  ESCHED_DEBUG_CHECK(
+      check_generator(rates, exit_rates, "block_tridiagonal_stationary"));
   const LevelPartition part = partition_levels(level_of, n);
   const std::size_t num_levels = part.states.size();
 
@@ -410,6 +413,7 @@ Vector block_tridiagonal_stationary(const CsrMatrix& rates,
     }
   }
   normalize_probability(pi);
+  ESCHED_DEBUG_CHECK(check_probability_vector(pi, "block_tridiagonal_stationary"));
 
   if (info != nullptr) {
     info->iterations = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/invariants.hpp"
 
 namespace esched {
 
@@ -28,6 +29,9 @@ StationaryMethod parse_stationary_method(const std::string& name) {
 }
 
 Vector gth_stationary(Matrix q) {
+  // No generator-structure debug check here: the block solver feeds this
+  // entry censored generators whose diagonal/row sums carry elimination
+  // roundoff GTH is insensitive to. The CSR overload below checks instead.
   ESCHED_CHECK(q.rows() == q.cols(), "generator must be square");
   const std::size_t n = q.rows();
   ESCHED_CHECK(n >= 1, "generator must be non-empty");
@@ -54,6 +58,7 @@ Vector gth_stationary(Matrix q) {
     pi[m] = acc;
   }
   normalize_probability(pi);
+  ESCHED_DEBUG_CHECK(check_probability_vector(pi, "gth_stationary"));
   return pi;
 }
 
@@ -65,6 +70,7 @@ Vector gth_stationary(const CsrMatrix& rates, const Vector& exit_rates) {
   ESCHED_CHECK(rates.rows() == rates.cols(), "generator must be square");
   ESCHED_CHECK(exit_rates.size() == rates.rows(),
                "exit-rate dimension mismatch");
+  ESCHED_DEBUG_CHECK(check_generator(rates, exit_rates, "gth_stationary"));
   Matrix q = rates.to_dense();
   for (std::size_t s = 0; s < rates.rows(); ++s) q(s, s) = -exit_rates[s];
   return gth_stationary(std::move(q));
@@ -126,6 +132,7 @@ Vector sor_stationary(const CsrMatrix& rates, const Vector& exit_rates,
   ESCHED_CHECK(omega > 0.0 && omega < 2.0, "SOR omega must be in (0,2)");
   ESCHED_CHECK(exit_rates.size() == rates.rows(),
                "exit-rate dimension mismatch");
+  ESCHED_DEBUG_CHECK(check_generator(rates, exit_rates, "sor_stationary"));
   const std::size_t n = rates.rows();
   // One transpose per solve: the Gauss-Seidel update of pi[s] gathers over
   // the transitions *entering* s, and the convergence check reuses it.
@@ -160,6 +167,7 @@ Vector sor_stationary(const CsrMatrix& rates, const Vector& exit_rates,
   // the last sweep actually performed; clamp so callers see the true work.
   local.iterations = std::min(local.iterations, max_iters);
   if (info != nullptr) *info = local;
+  ESCHED_DEBUG_CHECK(check_probability_vector(pi, "sor_stationary"));
   return pi;
 }
 
@@ -174,6 +182,7 @@ Vector power_stationary(const CsrMatrix& rates, const Vector& exit_rates,
                         StationarySolveInfo* info) {
   ESCHED_CHECK(exit_rates.size() == rates.rows(),
                "exit-rate dimension mismatch");
+  ESCHED_DEBUG_CHECK(check_generator(rates, exit_rates, "power_stationary"));
   const std::size_t n = rates.rows();
   // Strictly exceed the max exit rate so the uniformized DTMC is aperiodic.
   double max_exit = 0.0;
@@ -217,6 +226,7 @@ Vector power_stationary(const CsrMatrix& rates, const Vector& exit_rates,
   normalize_probability(pi);
   local.residual = residual_from_incoming(in, exit_rates, pi);
   if (info != nullptr) *info = local;
+  ESCHED_DEBUG_CHECK(check_probability_vector(pi, "power_stationary"));
   return pi;
 }
 

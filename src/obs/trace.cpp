@@ -15,6 +15,10 @@ std::atomic<TraceWriter*> g_trace{nullptr};
 
 TraceWriter::TraceWriter(const std::string& path)
     : path_(path),
+      // esched-lint: allow(raw-file-io): the JSONL trace is a deliberately
+      // live, tailable append sink (one fwrite + flush per complete line),
+      // not a publish-on-completion artifact — temp + rename would hide
+      // the stream until process exit.
       file_(std::fopen(path.c_str(), "wb")),
       start_(std::chrono::steady_clock::now()) {
   if (file_ == nullptr) {

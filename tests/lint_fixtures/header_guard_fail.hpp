@@ -1,0 +1,7 @@
+// Fixture: a header whose first code line is not #pragma once — the
+// header-guard rule must fire (leading comments are fine, includes
+// before the pragma are not).
+#include <string>
+#pragma once
+
+std::string late_guard();

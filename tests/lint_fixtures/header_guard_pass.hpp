@@ -1,0 +1,8 @@
+// Fixture: the approved header shape — any number of comment/blank
+// lines, then #pragma once before any other code.
+
+#pragma once
+
+#include <string>
+
+std::string early_guard();

@@ -1,0 +1,7 @@
+// Fixture: include-hygiene violations — the kitchen-sink header and
+// relative quoted paths must both fire.
+#include <bits/stdc++.h>
+#include "../markov/stationary.hpp"
+#include "./local_helper.hpp"
+
+int answer() { return 42; }

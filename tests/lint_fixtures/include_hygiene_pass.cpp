@@ -1,0 +1,8 @@
+// Fixture: clean includes — specific standard headers and
+// src/-root-relative quoted paths. test_lint runs this with an empty
+// src_root so the quoted path is only checked for ./ and ../ shapes.
+#include <string>
+#include <vector>
+#include "common/error.hpp"
+
+int answer() { return 42; }

@@ -1,0 +1,12 @@
+// Fixture: metric names missing from the README vocabulary. test_lint
+// supplies a small vocabulary; both literals below are outside it and
+// must fire metric-vocabulary.
+struct Registry {
+  void counter(const char* name, double v);
+  void gauge(const char* name, double v);
+};
+
+void record(Registry& reg) {
+  reg.counter("made.up.counter", 1.0);
+  reg.gauge("sweep.points.unknown_suffix", 2.0);
+}

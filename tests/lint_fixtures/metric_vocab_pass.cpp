@@ -1,0 +1,17 @@
+// Fixture: metric names drawn from the vocabulary test_lint supplies
+// (exact names and one <placeholder> pattern), plus a dynamically built
+// name — non-literal first arguments are skipped by design.
+#include <string>
+
+struct Registry {
+  void counter(const char* name, double v);
+  void counter(const std::string& name, double v);
+  void histogram(const char* name, double v);
+};
+
+void record(Registry& reg, const std::string& backend) {
+  reg.counter("sweep.points.total", 1.0);
+  reg.counter("solver.mc.points", 3.0);  // matches solver.<backend>.points
+  reg.histogram("sweep.point.seconds", 0.25);
+  reg.counter("solver." + backend + ".points", 1.0);  // not a literal: skipped
+}

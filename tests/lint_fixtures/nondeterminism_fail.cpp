@@ -1,0 +1,19 @@
+// Fixture: nondeterministic sources in a solve path. Every line below
+// must fire nondeterminism — any one of them silently breaks the
+// N-thread == 1-thread bitwise determinism contract.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_seed() {
+  std::random_device entropy;  // per-run entropy: never reproducible
+  unsigned seed = entropy();
+  seed += static_cast<unsigned>(std::rand());
+  std::srand(42);
+  seed += static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  seed += static_cast<unsigned>(std::time(nullptr));
+  seed += static_cast<unsigned>(std::clock());
+  return seed;
+}

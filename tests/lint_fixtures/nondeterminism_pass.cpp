@@ -1,0 +1,22 @@
+// Fixture: the deterministic idiom — fixed per-point seeds, steady_clock
+// for durations, and the filesystem's mtime clock for lease heartbeats.
+// None of these may fire nondeterminism: steady_clock and
+// file_time_type::clock are exempt by design, and words like
+// "randomized" are not the identifier rand.
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+
+std::uint64_t randomized_point_seed(std::uint64_t base, std::uint64_t index) {
+  return base * 6364136223846793005ull + index;  // deterministic stream
+}
+
+double duration_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+auto heartbeat_now() {
+  return std::filesystem::file_time_type::clock::now();
+}

@@ -1,0 +1,13 @@
+// Fixture: raw file I/O inside an atomic-publication zone. test_lint
+// feeds this content under a synthetic src/dist/ path, so every raw
+// publication primitive below must fire raw-file-io.
+#include <cstdio>
+#include <fstream>
+
+void publish_badly(const char* path) {
+  std::ofstream out(path);  // torn file visible under the final name
+  out << "partial";
+  std::FILE* f = std::fopen(path, "wb");
+  if (f != nullptr) std::fclose(f);
+  std::rename("a.tmp", path);
+}

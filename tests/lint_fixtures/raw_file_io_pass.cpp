@@ -1,0 +1,13 @@
+// Fixture: the approved publication path — common/atomic_file helpers.
+// Reads (ifstream) are fine too: the queue protocol tolerates torn reads
+// by skipping, it is only *publication* that must be atomic. Mentioning
+// fopen or rename in a comment must not fire either.
+#include <fstream>
+#include <string>
+
+void atomic_write_file(const std::string& path, const std::string& text);
+
+void publish_well(const std::string& path) {
+  atomic_write_file(path, "complete content\n");
+  std::ifstream in(path);  // reading back is not publication
+}

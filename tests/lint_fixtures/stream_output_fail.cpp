@@ -1,0 +1,12 @@
+// Fixture: terminal output from library code — every line below must
+// fire stream-output.
+#include <cstdio>
+#include <iostream>
+
+void chatter(int n) {
+  std::cout << "solved " << n << " points\n";
+  std::clog << "note\n";
+  printf("%d\n", n);
+  puts("done");
+  putchar('\n');
+}

@@ -1,0 +1,14 @@
+// Fixture: the approved idiom — caller-supplied streams and snprintf
+// into a buffer. std::cerr for hard diagnostics is also tolerated, and
+// the words printf/cout inside strings or comments must not fire.
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+void report(std::ostream& out, int n) {
+  out << "solved " << n << " points\n";  // caller decides where this goes
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", n);
+  out << buf << " (formatted without printf, see comment)\n";
+  std::cerr << "hard diagnostic, not std::cout\n";
+}

@@ -1,0 +1,9 @@
+// Fixture: a suppression naming a rule that does not exist must fire
+// unknown-suppression (a typo here would otherwise silently disable
+// nothing and rot).
+#include <string>
+
+void f() {
+  std::string s;  // esched-lint: allow(no-such-rule): typo'd annotation
+  (void)s;
+}

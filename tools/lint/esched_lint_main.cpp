@@ -1,0 +1,54 @@
+// The `esched-lint` CLI: scans src/ (or the given paths) for violations
+// of the project's hand-rolled correctness rules. Exit codes: 0 clean,
+// 1 findings, 2 usage or I/O error — CI treats nonzero as failure.
+//
+//   esched-lint [--root DIR] [--readme FILE] [--list-rules] [paths...]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: esched-lint [--root DIR] [--readme FILE] [--list-rules] "
+         "[paths...]\n"
+         "  --root DIR     repository root (default .); src/ and README.md\n"
+         "                 are resolved against it\n"
+         "  --readme FILE  override the README carrying the\n"
+         "                 metrics-vocabulary block\n"
+         "  --list-rules   print the rule identifiers and exit\n"
+         "  paths          files or directories to scan, root-relative\n"
+         "                 (default: src)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  esched::lint::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : esched::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      options.root = argv[i];
+    } else if (arg == "--readme") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      options.readme_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "esched-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  return esched::lint::lint_main(options, std::cout);
+}
