@@ -40,13 +40,24 @@ inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// FNV-1a over a byte string: platform-independent, stable across runs.
 /// Used for deterministic per-point RNG seeds and disk-cache file names.
-inline std::uint64_t fnv1a64(const std::string& text) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+
+/// FNV-1a over a raw byte range, seedable so independent pieces (key
+/// length, key bytes, payload) chain into one checksum. Same function as
+/// fnv1a64 below when seeded with the offset basis.
+inline std::uint64_t fnv1a64_bytes(const void* data, std::size_t size,
+                                   std::uint64_t seed = kFnv1a64OffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
     h *= 1099511628211ull;
   }
   return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& text) {
+  return fnv1a64_bytes(text.data(), text.size());
 }
 
 }  // namespace esched

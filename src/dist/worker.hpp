@@ -17,7 +17,11 @@ struct WorkerOptions {
   int threads = 0;
   /// Shared persistent result cache (--cache-dir): workers re-solving a
   /// reclaimed chunk hit the crashed worker's stored points instead of
-  /// recomputing them.
+  /// recomputing them. Every worker process mmaps the directory's
+  /// open-addressing table (engine/shm_cache), so a warm hit is one
+  /// lock-free probe of shared memory; the table's publish-or-skip slot
+  /// protocol mirrors the lease discipline — a worker killed mid-store
+  /// wedges one slot (reclaimed by `cache gc`), never corrupts a result.
   std::string cache_dir;
   /// Lease owner stamp; empty = default_worker_owner() (host.pid).
   std::string owner;

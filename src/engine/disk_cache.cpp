@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -118,6 +119,47 @@ const FieldSpec* find_field(const std::string& name) {
 
 std::size_t run_result_field_count() {
   return std::size(kRunResultFields);
+}
+
+std::size_t run_result_packed_bytes() {
+  return std::size(kRunResultFields) * 8;
+}
+
+void pack_run_result(const RunResult& r, unsigned char* out) {
+  for (const FieldSpec& field : kRunResultFields) {
+    std::uint64_t word = 0;
+    if (field.as_double != nullptr) {
+      const double value = r.*field.as_double;
+      std::memcpy(&word, &value, sizeof(word));
+    } else {
+      const std::int64_t value = field.as_long != nullptr
+                                     ? static_cast<std::int64_t>(r.*field.as_long)
+                                     : static_cast<std::int64_t>(r.*field.as_int);
+      std::memcpy(&word, &value, sizeof(word));
+    }
+    std::memcpy(out, &word, sizeof(word));
+    out += sizeof(word);
+  }
+}
+
+RunResult unpack_run_result(const unsigned char* in) {
+  RunResult r;
+  for (const FieldSpec& field : kRunResultFields) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, in, sizeof(word));
+    in += sizeof(word);
+    if (field.as_double != nullptr) {
+      double value = 0.0;
+      std::memcpy(&value, &word, sizeof(value));
+      r.*field.as_double = value;
+    } else {
+      std::int64_t value = 0;
+      std::memcpy(&value, &word, sizeof(value));
+      if (field.as_long != nullptr) r.*field.as_long = static_cast<long>(value);
+      else r.*field.as_int = static_cast<int>(value);
+    }
+  }
+  return r;
 }
 
 std::string serialize_run_result(const RunResult& r) {

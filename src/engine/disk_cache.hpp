@@ -31,12 +31,24 @@ std::optional<RunResult> deserialize_run_result(const std::string& text);
 /// deserialized entry must carry exactly this many distinct fields.
 std::size_t run_result_field_count();
 
-/// One cache entry as seen by `esched cache ls/gc`.
+/// Fixed binary encoding of the same field table, for the mmap'd table
+/// tier (engine/shm_cache): every field occupies 8 host-endian bytes
+/// (doubles bit-cast, longs/ints sign-extended to int64), so the packed
+/// size is run_result_field_count() * 8 and pack/unpack round-trip a
+/// RunResult bitwise. from_cache is not packed, matching the text format.
+std::size_t run_result_packed_bytes();
+void pack_run_result(const RunResult& result, unsigned char* out);
+RunResult unpack_run_result(const unsigned char* in);
+
+/// One cache entry as seen by `esched cache ls/gc`. Entries live in one of
+/// two tiers: "table" (a slot in the mmap'd open-addressing table) or
+/// "file" (a per-entry .result file, the spill/cold tier).
 struct CacheEntryInfo {
-  std::string path;         ///< entry file (<hash>.result)
-  std::string key;          ///< full cache key stored inside the file
-  std::uintmax_t bytes = 0; ///< file size
-  double age_seconds = 0.0; ///< now - mtime at scan time
+  std::string path;         ///< entry file, or the table file for slots
+  std::string key;          ///< full cache key stored inside the entry
+  std::uintmax_t bytes = 0; ///< file size, or slot size for table entries
+  double age_seconds = 0.0; ///< now - mtime at scan time (0 for slots)
+  std::string tier = "file";
 };
 
 /// Outcome of a gc() pass.

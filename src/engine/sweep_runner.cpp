@@ -5,7 +5,8 @@
 #include <thread>
 
 #include "common/error.hpp"
-#include "engine/disk_cache.hpp"
+#include "common/numeric.hpp"
+#include "engine/shm_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -58,26 +59,41 @@ RunResult cached_copy(const RunResult& result) {
 
 }  // namespace
 
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) const {
+  // Same hash family as the disk tier's file names and the mmap table's
+  // home slots; the shard index is a pure function of the key, so layout
+  // never depends on insertion (i.e. scheduling) order.
+  return shards_[fnv1a64(key) & (kShardCount - 1)];
+}
+
 std::optional<RunResult> ResultCache::lookup(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = results_.find(key);
-  if (it == results_.end()) return std::nullopt;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.results.find(key);
+  if (it == shard.results.end()) return std::nullopt;
   return it->second;
 }
 
 void ResultCache::insert(const std::string& key, const RunResult& result) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  results_.insert_or_assign(key, result);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.results.insert_or_assign(key, result);
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return results_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.results.size();
+  }
+  return total;
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  results_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.results.clear();
+  }
 }
 
 SweepRunner::SweepRunner(int num_threads) : num_threads_(num_threads) {
@@ -90,8 +106,10 @@ SweepRunner::SweepRunner(int num_threads) : num_threads_(num_threads) {
 
 SweepRunner::~SweepRunner() = default;
 
-void SweepRunner::set_cache_dir(const std::string& directory) {
-  disk_cache_ = std::make_unique<DiskResultCache>(directory);
+void SweepRunner::set_cache_dir(const std::string& directory, bool use_table) {
+  TieredResultCache::Options options;
+  options.use_table = use_table;
+  disk_cache_ = std::make_unique<TieredResultCache>(directory, options);
 }
 
 std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,

@@ -13,6 +13,7 @@
 // RNG seed derives from its cache key, never from scheduling order.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,9 +26,14 @@
 
 namespace esched {
 
-class DiskResultCache;
+class TieredResultCache;
 
-/// Thread-safe memoization cache keyed on RunPoint::cache_key().
+/// Thread-safe memoization cache keyed on RunPoint::cache_key(), sharded
+/// by key hash so a high-thread warm rerun (every point a memo hit) does
+/// not serialize every worker on one mutex. Sharding is invisible to
+/// callers: which shard holds a key depends only on the key, so contents
+/// — and therefore sweep results — are bitwise identical at any thread
+/// count.
 class ResultCache {
  public:
   std::optional<RunResult> lookup(const std::string& key) const;
@@ -36,8 +42,16 @@ class ResultCache {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, RunResult> results_;
+  static constexpr std::size_t kShardCount = 16;  // power of two
+
+  struct alignas(64) Shard {  // own cache line: no false sharing of locks
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, RunResult> results;
+  };
+
+  Shard& shard_for(const std::string& key) const;
+
+  mutable std::array<Shard, kShardCount> shards_;
 };
 
 /// Bookkeeping for one run() call.
@@ -89,9 +103,13 @@ class SweepRunner {
                              const RowCallback& on_row = nullptr);
 
   /// Attaches a persistent cache directory (created if missing): memory
-  /// misses consult disk before solving, and fresh solves are written
-  /// back. Throws when the directory cannot be created.
-  void set_cache_dir(const std::string& directory);
+  /// misses consult it before solving, and fresh solves are written back.
+  /// The directory is a two-tier cache (engine/shm_cache): an mmap'd
+  /// open-addressing table serves hits with a lock-free probe, per-entry
+  /// files hold what the table cannot. `use_table = false` keeps the
+  /// file-per-entry tier only (benches use it to measure the old hot
+  /// path). Throws when the directory cannot be created.
+  void set_cache_dir(const std::string& directory, bool use_table = true);
 
   int num_threads() const { return num_threads_; }
   ResultCache& cache() { return cache_; }
@@ -100,7 +118,7 @@ class SweepRunner {
  private:
   int num_threads_;
   ResultCache cache_;
-  std::unique_ptr<DiskResultCache> disk_cache_;
+  std::unique_ptr<TieredResultCache> disk_cache_;
 };
 
 }  // namespace esched

@@ -47,10 +47,12 @@
 #endif
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "dist/work_queue.hpp"
 #include "dist/worker.hpp"
 #include "engine/disk_cache.hpp"
 #include "engine/report.hpp"
+#include "engine/shm_cache.hpp"
 #include "engine/scenario.hpp"
 #include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
@@ -68,8 +70,10 @@ void print_usage() {
       "       esched dists\n"
       "       esched merge <shard.csv>... --out merged.csv\n"
       "       esched merge <shard.json>... --out merged.json\n"
-      "       esched cache ls --cache-dir D\n"
+      "       esched cache ls --cache-dir D [--format text|json]\n"
       "       esched cache gc --cache-dir D [--max-age S] [--max-bytes B]\n"
+      "       esched cache init --cache-dir D [--slots N]\n"
+      "       esched cache info --cache-dir D\n"
       "       esched queue init <scenario-or-spec.json>... --queue-dir Q\n"
       "                        [--chunk N] [--seed S] [--sim-jobs N]\n"
       "                        [--exact-method M]\n"
@@ -235,15 +239,19 @@ int run_merge(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// `esched cache ls|gc --cache-dir D [--max-age S] [--max-bytes B]`
+/// `esched cache ls|gc|init|info --cache-dir D [--max-age S]
+/// [--max-bytes B] [--format text|json] [--slots N]`
 int run_cache(const std::vector<std::string>& args) {
-  if (args.empty() || (args[0] != "ls" && args[0] != "gc")) {
-    throw esched::Error("cache expects a subcommand: ls or gc");
+  if (args.empty() || (args[0] != "ls" && args[0] != "gc" &&
+                       args[0] != "init" && args[0] != "info")) {
+    throw esched::Error("cache expects a subcommand: ls, gc, init or info");
   }
   const std::string action = args[0];
   std::string cache_dir;
+  std::string format = "text";
   std::optional<double> max_age;
   std::optional<std::uintmax_t> max_bytes;
+  std::uint64_t slots = esched::ShmResultCache::kDefaultSlotCount;
   for (std::size_t n = 1; n < args.size(); ++n) {
     const auto next_value = [&](const char* flag) -> std::string {
       if (n + 1 >= args.size()) {
@@ -259,6 +267,14 @@ int run_cache(const std::vector<std::string>& args) {
     } else if (args[n] == "--max-bytes" && action == "gc") {
       max_bytes = static_cast<std::uintmax_t>(
           parse_long("--max-bytes", next_value("--max-bytes")));
+    } else if (args[n] == "--format" && action == "ls") {
+      format = next_value("--format");
+      if (format != "text" && format != "json") {
+        throw esched::Error("--format expects text or json");
+      }
+    } else if (args[n] == "--slots" && action == "init") {
+      slots = static_cast<std::uint64_t>(
+          parse_long("--slots", next_value("--slots")));
     } else {
       throw esched::Error("unknown cache " + action + " option '" + args[n] +
                           "'");
@@ -267,14 +283,95 @@ int run_cache(const std::vector<std::string>& args) {
   if (cache_dir.empty()) {
     throw esched::Error("cache " + action + " requires --cache-dir D");
   }
-  const esched::DiskResultCache cache(cache_dir);
+
+  if (action == "init") {
+    const esched::DiskResultCache dir(cache_dir);  // creates the directory
+    const auto table = esched::ShmResultCache::open_or_create(cache_dir, slots);
+    if (table == nullptr) {
+      throw esched::Error("cannot create a cache table in '" + cache_dir +
+                          "' (unwritable directory, or no mmap support)");
+    }
+    const esched::ShmTableInfo info = table->info();
+    std::printf(
+        "cache table %s: %ju slots x %ju B (payload %ju B, keys up to %ju B), "
+        "%ju entries\n",
+        info.path.c_str(), static_cast<std::uintmax_t>(info.slot_count),
+        static_cast<std::uintmax_t>(info.slot_bytes),
+        static_cast<std::uintmax_t>(info.payload_bytes),
+        static_cast<std::uintmax_t>(info.key_capacity),
+        static_cast<std::uintmax_t>(info.valid_slots));
+    return 0;
+  }
+
+  // ls/gc/info never create the table: inspecting (or shrinking) a cache
+  // directory must not seed a 16 MiB table file in it. Sweeps and `cache
+  // init` create tables.
+  esched::TieredResultCache::Options options;
+  options.create_table = false;
+  const esched::TieredResultCache cache(cache_dir, options);
+
+  if (action == "info") {
+    if (const esched::ShmResultCache* table = cache.table()) {
+      const esched::ShmTableInfo info = table->info();
+      std::printf("table %s (format v%ju)\n", info.path.c_str(),
+                  static_cast<std::uintmax_t>(info.format_version));
+      std::printf(
+          "  %ju slots x %ju B, payload %ju B, keys up to %ju B, file %ju B\n",
+          static_cast<std::uintmax_t>(info.slot_count),
+          static_cast<std::uintmax_t>(info.slot_bytes),
+          static_cast<std::uintmax_t>(info.payload_bytes),
+          static_cast<std::uintmax_t>(info.key_capacity),
+          static_cast<std::uintmax_t>(info.file_bytes));
+      std::printf("  %ju entries, %ju wedged slot%s\n",
+                  static_cast<std::uintmax_t>(info.valid_slots),
+                  static_cast<std::uintmax_t>(info.wedged_slots),
+                  info.wedged_slots == 1 ? "" : "s");
+    } else {
+      std::printf(
+          "no cache table in %s (file tier only; 'esched cache init' or any "
+          "sweep with --cache-dir creates one)\n",
+          cache_dir.c_str());
+    }
+    const auto files = cache.files().list_entries(false);
+    std::uintmax_t file_bytes = 0;
+    for (const auto& entry : files) file_bytes += entry.bytes;
+    std::printf("file tier: %zu entr%s, %ju bytes\n", files.size(),
+                files.size() == 1 ? "y" : "ies", file_bytes);
+    return 0;
+  }
+
   if (action == "ls") {
     const auto entries = cache.list_entries();
     std::uintmax_t total_bytes = 0;
+    for (const auto& entry : entries) total_bytes += entry.bytes;
+    if (format == "json") {
+      // Machine-readable manifest: same fields as the text table.
+      esched::JsonValue doc = esched::JsonValue::make_object();
+      doc.set("cache_dir", esched::JsonValue::make_string(cache_dir));
+      esched::JsonValue rows = esched::JsonValue::make_array();
+      for (const auto& entry : entries) {
+        esched::JsonValue row = esched::JsonValue::make_object();
+        row.set("key", esched::JsonValue::make_string(entry.key));
+        row.set("path", esched::JsonValue::make_string(entry.path));
+        row.set("bytes", esched::JsonValue::make_number(
+                             static_cast<double>(entry.bytes)));
+        row.set("age_seconds",
+                esched::JsonValue::make_number(entry.age_seconds));
+        row.set("tier", esched::JsonValue::make_string(entry.tier));
+        rows.push_back(std::move(row));
+      }
+      doc.set("entries", std::move(rows));
+      doc.set("count", esched::JsonValue::make_number(
+                           static_cast<double>(entries.size())));
+      doc.set("total_bytes", esched::JsonValue::make_number(
+                                 static_cast<double>(total_bytes)));
+      std::printf("%s\n", doc.dump().c_str());
+      return 0;
+    }
     for (const auto& entry : entries) {
-      total_bytes += entry.bytes;
-      std::printf("%8ju B  age %8.0f s  %s\n",
+      std::printf("%8ju B  age %8.0f s  %-5s  %s\n",
                   static_cast<std::uintmax_t>(entry.bytes), entry.age_seconds,
+                  entry.tier.c_str(),
                   entry.key.empty() ? entry.path.c_str() : entry.key.c_str());
     }
     std::printf("total: %zu entr%s, %ju bytes in %s\n", entries.size(),
