@@ -54,6 +54,7 @@
 #include "engine/shm_cache.hpp"
 #include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/bench_diff.hpp"
 #include "phase/fit.hpp"
 #include "phase/size_dist.hpp"
 #include "queueing/mm1.hpp"
@@ -64,8 +65,9 @@ namespace {
 
 using namespace esched;
 
-constexpr const char* kBenchFormat = "esched-bench";
-constexpr int kBenchSchemaVersion = 1;
+// The snapshot format tag and version live in obs/bench_diff (shared with
+// `esched bench diff`, so the emitter, validator, and comparator can
+// never disagree about the schema): kBenchFormat, kBenchSchemaVersion.
 
 /// Optimization sink: assigning through a volatile keeps the measured
 /// computation alive without a compiler-specific DoNotOptimize.
@@ -549,70 +551,14 @@ std::vector<BenchCase> build_cases() {
 
 // ---------------------------------------------------------------------------
 // Validation: the schema contract CI enforces on every emitted snapshot.
-// Self-contained (the harness validates its own output format), so CI
-// needs no extra tooling.
+// Delegates to the shared loader in obs/bench_diff — the same parse
+// `esched bench diff` applies to both of its inputs — so --validate
+// passing guarantees the snapshot feeds the perf gate.
 
 void validate_snapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  ESCHED_CHECK(in.good(), "cannot read '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const JsonValue root = parse_json(buffer.str(), path);
-
-  const JsonValue* format = root.find("format");
-  ESCHED_CHECK(format != nullptr &&
-                   format->as_string("format") == kBenchFormat,
-               path + ": missing or wrong \"format\" tag (expected \"" +
-                   kBenchFormat + "\")");
-  const JsonValue* version = root.find("schema_version");
-  ESCHED_CHECK(version != nullptr &&
-                   version->as_integer("schema_version", 1, 1000000) ==
-                       kBenchSchemaVersion,
-               path + ": unsupported schema_version (this build knows " +
-                   std::to_string(kBenchSchemaVersion) + ")");
-  const JsonValue* mode = root.find("mode");
-  ESCHED_CHECK(mode != nullptr && (mode->as_string("mode") == "full" ||
-                                   mode->as_string("mode") == "smoke"),
-               path + ": \"mode\" must be \"full\" or \"smoke\"");
-  const JsonValue* host = root.find("host");
-  ESCHED_CHECK(host != nullptr && host->is_object(),
-               path + ": missing \"host\" object");
-  for (const char* key : {"hostname", "compiler"}) {
-    ESCHED_CHECK(host->find(key) != nullptr,
-                 path + ": host lacks \"" + key + "\"");
-  }
-  const JsonValue* benchmarks = root.find("benchmarks");
-  ESCHED_CHECK(benchmarks != nullptr && benchmarks->is_array() &&
-                   !benchmarks->as_array("benchmarks").empty(),
-               path + ": missing or empty \"benchmarks\" array");
-  for (const JsonValue& entry : benchmarks->as_array("benchmarks")) {
-    const std::string name =
-        entry.find("name") != nullptr
-            ? entry.find("name")->as_string("benchmarks[].name")
-            : "";
-    ESCHED_CHECK(!name.empty(), path + ": benchmark entry lacks \"name\"");
-    const std::string where = path + ": " + name;
-    ESCHED_CHECK(entry.find("iterations") != nullptr &&
-                     entry.find("iterations")->as_integer(
-                         where + ".iterations", 1, 1000000000) >= 1,
-                 where + ": iterations must be >= 1");
-    double last = 0.0;
-    for (const char* key : {"min_seconds", "p50_seconds", "p90_seconds",
-                            "p99_seconds", "max_seconds"}) {
-      const JsonValue* v = entry.find(key);
-      ESCHED_CHECK(v != nullptr, where + ": missing \"" + key + "\"");
-      const double value = v->as_number(where + "." + key);
-      ESCHED_CHECK(value >= 0.0, where + ": " + key + " is negative");
-      ESCHED_CHECK(value + 1e-12 >= last,
-                   where + ": " + key + " is not monotone with the "
-                   "preceding percentile");
-      last = value;
-    }
-    ESCHED_CHECK(entry.find("mean_seconds") != nullptr &&
-                     entry.find("mean_seconds")->as_number(
-                         where + ".mean_seconds") >= 0.0,
-                 where + ": missing mean_seconds");
-  }
+  const BenchSnapshot snapshot = load_bench_snapshot(path);
+  ESCHED_CHECK(!snapshot.cases.empty(),
+               path + ": snapshot holds no benchmark cases");
 }
 
 int usage(const char* argv0) {

@@ -1,6 +1,7 @@
 #include "dist/worker.hpp"
 
 #include <chrono>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "dist/work_queue.hpp"
 #include "engine/report.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace esched {
@@ -53,6 +55,10 @@ namespace {
 void solve_chunk(WorkQueue& queue, const ChunkTask& task,
                  const std::string& owner, SweepRunner& runner,
                  const WorkerOptions& options) {
+  // The chunk span covers claim-to-commit; the runner's sweep span nests
+  // under it automatically (same thread).
+  const TraceSpan chunk_span("chunk",
+                             {{"chunk", task.chunk}, {"owner", owner}});
   const std::vector<RunPoint>& all = queue.expanded_points();
   const std::vector<RunPoint> slice(
       all.begin() + static_cast<std::ptrdiff_t>(task.begin),
@@ -90,6 +96,20 @@ WorkerSummary run_worker(const std::string& queue_dir,
     t->event("worker_start",
              {{"owner", owner}, {"queue", queue_dir},
               {"chunks", manifest.num_chunks}});
+  }
+  // Root of this process's span tree; chunk spans nest under it.
+  const TraceSpan worker_span("worker",
+                              {{"owner", owner}, {"queue", queue_dir}});
+  // Live fleet telemetry for `esched status`: periodic snapshots for the
+  // worker's lifetime, a final one when this scope unwinds.
+  std::unique_ptr<TelemetryPublisher> telemetry;
+  if (!options.telemetry_dir.empty()) {
+    TelemetryOptions telemetry_options;
+    telemetry_options.dir = options.telemetry_dir;
+    telemetry_options.owner = owner;
+    telemetry_options.interval_seconds = options.telemetry_interval_seconds;
+    telemetry = std::make_unique<TelemetryPublisher>(
+        std::move(telemetry_options));
   }
 
   queue.sweep_stale_tmp();  // crashed writers' orphans, once per startup

@@ -45,6 +45,12 @@ struct WorkerOptions {
   bool abandon = false;
   /// Worker chatter (claims, commits, requeues); nullptr = silent.
   std::ostream* log = nullptr;
+  /// When nonempty, publish live metrics snapshots to
+  /// `<telemetry_dir>/<owner>.metrics.json` every
+  /// telemetry_interval_seconds (plus a final snapshot at exit) for
+  /// `esched status` to merge into the fleet view. Observation only.
+  std::string telemetry_dir;
+  double telemetry_interval_seconds = 2.0;
 };
 
 struct WorkerSummary {

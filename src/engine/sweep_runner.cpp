@@ -127,6 +127,13 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
     t->event("sweep_start",
              {{"points", points.size()}, {"threads", num_threads_}});
   }
+  // The sweep span nests under an open chunk span when a dist worker is
+  // driving this call (same thread), and is a root otherwise. Point spans
+  // solved on pool threads pass this id explicitly — a fresh thread has an
+  // empty span stack, so auto-parenting cannot reach across.
+  const TraceSpan sweep_span("sweep", {{"points", points.size()},
+                                       {"threads", num_threads_}});
+  const std::uint64_t sweep_span_id = sweep_span.id();
 
   // Deduplicate: first occurrence of each uncached key becomes a job, so a
   // point repeated across figure axes solves exactly once. Memory misses
@@ -268,7 +275,20 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
       if (group.size() == 1) {
         const std::size_t n = group.front();
         try {
-          store(n, dispatch_run(points[n]));
+          const TraceSpan point_span(
+              "point",
+              {{"index", n},
+               {"solver", solver_name(points[n].solver)},
+               {"policy", points[n].policy}},
+              sweep_span_id);
+          const RunResult result = [&] {
+            // Inner solve span: separates pure solver time from the
+            // store/deliver tail the point span also covers.
+            const TraceSpan solve_span(
+                "solve", {{"solver", solver_name(points[n].solver)}});
+            return dispatch_run(points[n]);
+          }();
+          store(n, result);
         } catch (const std::exception& e) {
           record_error(keys[n], e.what());
         }
@@ -281,7 +301,18 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunPoint>& points,
           ExactGroupSolver solver(points[group.front()]);
           for (const std::size_t n : group) {
             try {
-              store(n, solver.solve(points[n]));
+              const TraceSpan point_span(
+                  "point",
+                  {{"index", n},
+                   {"solver", solver_name(points[n].solver)},
+                   {"policy", points[n].policy}},
+                  sweep_span_id);
+              const RunResult result = [&] {
+                const TraceSpan solve_span(
+                    "solve", {{"solver", solver_name(points[n].solver)}});
+                return solver.solve(points[n]);
+              }();
+              store(n, result);
             } catch (const std::exception& e) {
               record_error(keys[n], e.what());
             }

@@ -1,0 +1,84 @@
+// Bench snapshot loading and trajectory comparison. The perf harness
+// (bench/perf_solvers.cpp) emits schema-versioned BENCH_perf.json
+// snapshots; this module is the single place that knows that schema, so
+// `bench_perf_solvers --validate` and `esched bench diff` cannot drift
+// apart. `esched bench diff old.json new.json` compares the snapshots
+// case by case and exits nonzero on a regression, which is what lets CI
+// gate the perf trajectory instead of eyeballing it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esched {
+
+/// The snapshot format tag and version the harness writes and this loader
+/// accepts. Bump the version when the JSON layout changes shape.
+inline constexpr const char* kBenchFormat = "esched-bench";
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One benchmark case's recorded statistics.
+struct BenchCaseStats {
+  std::string name;
+  long long iterations = 0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double items_per_second = 0.0;  ///< 0 when the case records none
+};
+
+/// A parsed, validated snapshot.
+struct BenchSnapshot {
+  std::string path;  ///< where it was loaded from (for messages)
+  std::string mode;  ///< "full" or "smoke"
+  std::vector<BenchCaseStats> cases;  ///< in file order
+
+  /// nullptr when no case has that name.
+  const BenchCaseStats* find(const std::string& name) const;
+};
+
+/// Parses and validates `path`: format tag, schema_version, mode, host
+/// info, and per-case percentile monotonicity. Throws esched::Error
+/// naming the offending field on any violation — this is the validation
+/// `bench_perf_solvers --validate` applies to its own output.
+BenchSnapshot load_bench_snapshot(const std::string& path);
+
+/// One case present in both snapshots.
+struct BenchCaseDelta {
+  std::string name;
+  double old_mean = 0.0;
+  double new_mean = 0.0;
+  double old_p50 = 0.0;
+  double new_p50 = 0.0;
+  double mean_ratio = 1.0;  ///< new/old (1.0 when old is 0 and new is 0)
+  double p50_ratio = 1.0;
+  bool regressed = false;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchCaseDelta> cases;   ///< new-snapshot order
+  std::vector<std::string> only_old;   ///< cases that disappeared
+  std::vector<std::string> only_new;   ///< cases that appeared
+  double threshold = 0.0;
+  std::size_t regressions = 0;
+};
+
+/// Case-by-case comparison. A case REGRESSES when both its mean and its
+/// p50 grew by more than `threshold` (fractional: 0.25 = +25%) — requiring
+/// both keeps a single outlier iteration from failing the gate, while a
+/// real slowdown moves the median too. Cases present in only one snapshot
+/// are listed but never regress (renames must not break the gate).
+BenchDiffResult diff_bench_snapshots(const BenchSnapshot& old_snapshot,
+                                     const BenchSnapshot& new_snapshot,
+                                     double threshold);
+
+/// Human-readable table: per-case deltas (regressions flagged), appeared/
+/// disappeared cases, and a one-line verdict.
+void print_bench_diff(const BenchDiffResult& diff, std::ostream& out);
+
+}  // namespace esched

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/atomic_file.hpp"
+#include "common/error.hpp"
 
 namespace esched {
 
@@ -196,6 +198,132 @@ JsonValue MetricsSnapshot::to_json() const {
   }
   root.set("histograms", std::move(hists_obj));
   return root;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& [n, value] : counters) {
+    if (n == name) return value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+  for (const auto& [n, value] : gauges) {
+    if (n == name) return value;
+  }
+  return 0.0;
+}
+
+const LogHistogram::Snapshot* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& [n, snap] : histograms) {
+    if (n == name) return &snap;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot metrics_snapshot_from_json(const JsonValue& doc,
+                                           const std::string& where) {
+  const JsonValue* version = doc.find("schema_version");
+  if (version == nullptr ||
+      version->as_integer(where + ".schema_version", 1, 1000000) !=
+          kMetricsSchemaVersion) {
+    throw Error(where + ": missing or unsupported metrics schema_version "
+                        "(this build knows " +
+                std::to_string(kMetricsSchemaVersion) + ")");
+  }
+  MetricsSnapshot out;
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, value] :
+         counters->as_object(where + ".counters")) {
+      out.counters.emplace_back(
+          name, static_cast<std::uint64_t>(value.as_integer(
+                    where + ".counters." + name, 0,
+                    std::numeric_limits<long long>::max())));
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, value] : gauges->as_object(where + ".gauges")) {
+      out.gauges.emplace_back(name,
+                              value.as_number(where + ".gauges." + name));
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms")) {
+    for (const auto& [name, h] : hists->as_object(where + ".histograms")) {
+      const std::string hw = where + ".histograms." + name;
+      LogHistogram::Snapshot snap;
+      snap.count = static_cast<std::uint64_t>(
+          h.find("count") == nullptr
+              ? 0
+              : h.find("count")->as_integer(
+                    hw + ".count", 0, std::numeric_limits<long long>::max()));
+      if (const JsonValue* v = h.find("sum")) snap.sum = v->as_number(hw);
+      if (const JsonValue* v = h.find("min")) snap.min = v->as_number(hw);
+      if (const JsonValue* v = h.find("max")) snap.max = v->as_number(hw);
+      if (const JsonValue* buckets = h.find("buckets")) {
+        for (const JsonValue& entry : buckets->as_array(hw + ".buckets")) {
+          const JsonValue* lo = entry.find("lo");
+          const JsonValue* count = entry.find("count");
+          if (lo == nullptr || count == nullptr) {
+            throw Error(hw + ": bucket entry lacks lo/count");
+          }
+          // `lo` is the bucket's exact power-of-two lower bound, so
+          // histogram_bucket maps it straight back to its index.
+          snap.buckets[histogram_bucket(lo->as_number(hw + ".lo"))] +=
+              static_cast<std::uint64_t>(count->as_integer(
+                  hw + ".count", 0, std::numeric_limits<long long>::max()));
+        }
+      }
+      out.histograms.emplace_back(name, snap);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Folds `from` into `into` bucket-wise; quantiles of the result come from
+/// the merged buckets, never from averaging per-process quantiles.
+void merge_histogram_snapshots(LogHistogram::Snapshot& into,
+                               const LogHistogram::Snapshot& from) {
+  if (from.count == 0) return;
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.sum += from.sum;
+  into.min = std::min(into.min, from.min);
+  into.max = std::max(into.max, from.max);
+  into.count += from.count;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    into.buckets[b] += from.buckets[b];
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot merge_metrics_snapshots(
+    const std::vector<MetricsSnapshot>& snapshots) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LogHistogram::Snapshot> histograms;
+  for (const MetricsSnapshot& snap : snapshots) {
+    for (const auto& [name, value] : snap.counters) counters[name] += value;
+    for (const auto& [name, value] : snap.gauges) gauges[name] += value;
+    for (const auto& [name, hist] : snap.histograms) {
+      merge_histogram_snapshots(histograms[name], hist);
+    }
+  }
+  MetricsSnapshot out;
+  // std::map iteration restores the name order to_json relies on.
+  for (const auto& [name, value] : counters) {
+    out.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : gauges) out.gauges.emplace_back(name, value);
+  for (const auto& [name, hist] : histograms) {
+    out.histograms.emplace_back(name, hist);
+  }
+  return out;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -172,7 +172,30 @@ struct MetricsSnapshot {
   /// {lo, hi, count}. Names sort lexicographically, so equal event
   /// sequences serialize to identical bytes.
   JsonValue to_json() const;
+
+  /// Looks up a counter/gauge/histogram by name (the vectors are sorted,
+  /// but a linear scan is fine at snapshot cardinality). Returns 0 / 0.0 /
+  /// nullptr when the metric was never registered.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const LogHistogram::Snapshot* find_histogram(const std::string& name) const;
 };
+
+/// Parses a snapshot serialized by MetricsSnapshot::to_json back into
+/// struct form (the inverse the fleet merger needs). Histogram buckets are
+/// relocated by their recorded `lo` bound — exact powers of two, so the
+/// round trip is lossless. Throws esched::Error on a malformed document or
+/// an unsupported schema_version.
+MetricsSnapshot metrics_snapshot_from_json(const JsonValue& doc,
+                                           const std::string& where);
+
+/// Merges per-process snapshots into one fleet-wide snapshot: counters and
+/// gauges sum by name, histograms merge BUCKET-WISE (counts added, sums
+/// added, min/max folded) so quantiles of the result are re-derived from
+/// the combined distribution — never averaged across processes, which
+/// would be wrong for any skewed distribution.
+MetricsSnapshot merge_metrics_snapshots(
+    const std::vector<MetricsSnapshot>& snapshots);
 
 /// Named-metric registry. Lookup/creation takes a mutex, so call sites on
 /// hot paths should resolve their handles once (function-local static or

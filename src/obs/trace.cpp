@@ -2,6 +2,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 
@@ -10,6 +15,22 @@ namespace esched {
 namespace {
 
 std::atomic<TraceWriter*> g_trace{nullptr};
+
+long current_pid() {
+#if __has_include(<unistd.h>)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Span ids are per-process (unique under one pid, which is how the
+/// report merger scopes them); 0 is reserved for "no span / no parent".
+std::atomic<std::uint64_t> g_next_span{1};
+
+/// This thread's stack of open span ids — what makes nested TraceSpans
+/// parent automatically without threading ids through call signatures.
+thread_local std::vector<std::uint64_t> t_span_stack;
 
 }  // namespace
 
@@ -20,7 +41,8 @@ TraceWriter::TraceWriter(const std::string& path)
       // not a publish-on-completion artifact — temp + rename would hide
       // the stream until process exit.
       file_(std::fopen(path.c_str(), "wb")),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      pid_(current_pid()) {
   if (file_ == nullptr) {
     throw Error("cannot open trace file '" + path +
                 "': " + std::strerror(errno));
@@ -33,6 +55,11 @@ TraceWriter::~TraceWriter() {
 
 void TraceWriter::event(const char* type,
                         std::initializer_list<TraceField> fields) {
+  event(type, std::vector<TraceField>(fields.begin(), fields.end()));
+}
+
+void TraceWriter::event(const char* type,
+                        const std::vector<TraceField>& fields) {
   const double t =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
@@ -41,6 +68,12 @@ void TraceWriter::event(const char* type,
   JsonValue line = JsonValue::make_object();
   line.set("t", JsonValue::make_number(t));
   line.set("ev", JsonValue::make_string(type));
+  line.set("pid", JsonValue::make_number(static_cast<double>(pid_)));
+  // The sequence is assigned OUTSIDE the writer mutex, so two events can
+  // land in the file out of seq order — the report merger's (t, pid, seq)
+  // sort restores the assignment order either way.
+  line.set("seq", JsonValue::make_number(static_cast<double>(
+                      seq_.fetch_add(1, std::memory_order_relaxed))));
   for (const TraceField& field : fields) {
     line.set(field.key, JsonValue(field.value));
   }
@@ -57,6 +90,45 @@ TraceWriter* set_global_trace(TraceWriter* writer) {
 
 TraceWriter* global_trace() {
   return g_trace.load(std::memory_order_acquire);
+}
+
+std::uint64_t trace_span_begin(const char* name,
+                               std::initializer_list<TraceField> fields,
+                               std::uint64_t parent) {
+  TraceWriter* writer = global_trace();
+  if (writer == nullptr) return 0;
+  const std::uint64_t id =
+      g_next_span.fetch_add(1, std::memory_order_relaxed);
+  if (parent == 0 && !t_span_stack.empty()) parent = t_span_stack.back();
+  t_span_stack.push_back(id);
+  // span/parent/name lead the custom fields so every span_begin line is
+  // self-describing.
+  std::vector<TraceField> all;
+  all.reserve(fields.size() + 3);
+  all.push_back({"span", static_cast<std::size_t>(id)});
+  all.push_back({"parent", static_cast<std::size_t>(parent)});
+  all.push_back({"name", name});
+  for (const TraceField& field : fields) all.push_back(field);
+  writer->event("span_begin", all);
+  return id;
+}
+
+void trace_span_end(std::uint64_t span_id, const char* name) {
+  if (span_id == 0) return;
+  // Pop this span (normally the top; a mismatched interleaving — e.g. a
+  // span object outliving its children on another thread — just erases
+  // the id wherever it sits, keeping the stack from leaking).
+  for (std::size_t n = t_span_stack.size(); n-- > 0;) {
+    if (t_span_stack[n] == span_id) {
+      t_span_stack.erase(t_span_stack.begin() +
+                         static_cast<std::ptrdiff_t>(n));
+      break;
+    }
+  }
+  TraceWriter* writer = global_trace();
+  if (writer == nullptr) return;  // sink detached while the span was open
+  writer->event("span_end", {{"span", static_cast<std::size_t>(span_id)},
+                             {"name", name}});
 }
 
 }  // namespace esched

@@ -1,9 +1,11 @@
 // Structured JSONL trace of sweep lifecycle events. Each event serializes
-// to exactly one line — {"t": <seconds>, "ev": "<type>", ...fields} — so
-// the file is greppable, `jq`-able, and appendable by design. Timestamps
-// are steady_clock seconds relative to the writer's construction
-// (monotonic: immune to wall-clock adjustment, and directly comparable
-// across events of one run).
+// to exactly one line — {"t": <seconds>, "ev": "<type>", "pid": <pid>,
+// "seq": <n>, ...fields} — so the file is greppable, `jq`-able, and
+// appendable by design. Timestamps are steady_clock seconds relative to
+// the writer's construction (monotonic: immune to wall-clock adjustment,
+// and directly comparable across events of one run); `pid` and the
+// per-process monotonic `seq` let `esched trace report` merge traces from
+// many workers and order them deterministically by (t, pid, seq).
 //
 // Producers throughout the engine emit through the process-global sink
 // (set_global_trace); when no sink is installed — the default — emission
@@ -17,14 +19,20 @@
 //             cache_hit, disk_hit, sweep_done
 //   dist    → lease_claim, lease_requeue, chunk_commit, chunk_failed,
 //             worker_start, worker_done
+//   spans   → span_begin, span_end (see TraceSpan below): paired events
+//             carrying {span, parent, name}, forming the per-process span
+//             tree worker → chunk → sweep → point → solve that
+//             `esched trace report` reconstructs across workers
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <initializer_list>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 
@@ -63,8 +71,11 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
   ~TraceWriter();
 
-  /// Emits {"t": <seconds since construction>, "ev": type, ...fields}.
+  /// Emits {"t": <seconds since construction>, "ev": type, "pid": <pid>,
+  /// "seq": <per-writer monotonic>, ...fields}.
   void event(const char* type, std::initializer_list<TraceField> fields = {});
+  /// Same, for call sites that assemble fields dynamically (span events).
+  void event(const char* type, const std::vector<TraceField>& fields);
 
   const std::string& path() const { return path_; }
 
@@ -72,6 +83,8 @@ class TraceWriter {
   std::string path_;
   std::FILE* file_;
   std::chrono::steady_clock::time_point start_;
+  long pid_;
+  std::atomic<std::uint64_t> seq_{0};
   std::mutex mutex_;
 };
 
@@ -84,5 +97,41 @@ TraceWriter* set_global_trace(TraceWriter* writer);
 ///   if (TraceWriter* t = global_trace()) t->event("point_done", {...});
 /// so a disabled trace costs one relaxed load.
 TraceWriter* global_trace();
+
+/// Opens a span on the global sink: emits span_begin carrying a fresh
+/// per-process span id, the parent id, and `name`, then pushes the id on
+/// this THREAD's span stack so nested spans parent automatically. Pass a
+/// nonzero `parent` to attach under a span opened on another thread (the
+/// sweep runner does this for point spans solved on pool threads).
+/// Returns 0 — and emits nothing — when tracing is off.
+std::uint64_t trace_span_begin(const char* name,
+                               std::initializer_list<TraceField> fields = {},
+                               std::uint64_t parent = 0);
+
+/// Closes `span_id`: pops it from this thread's span stack and emits
+/// span_end. A 0 id (span opened while tracing was off) is a no-op.
+void trace_span_end(std::uint64_t span_id, const char* name);
+
+/// RAII span: begin on construction, end at scope exit. The span
+/// vocabulary (worker → chunk → sweep → point → solve) is documented in
+/// README "Observability"; `esched trace report` rebuilds the tree.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     std::initializer_list<TraceField> fields = {},
+                     std::uint64_t parent = 0)
+      : name_(name), id_(trace_span_begin(name, fields, parent)) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { trace_span_end(id_, name_); }
+
+  /// This span's id, for explicit cross-thread parenting (0 = tracing
+  /// was off when the span opened).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  std::uint64_t id_;
+};
 
 }  // namespace esched

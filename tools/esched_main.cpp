@@ -34,6 +34,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -56,8 +58,11 @@
 #include "engine/scenario.hpp"
 #include "engine/spec.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/bench_diff.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_report.hpp"
 #include "phase/size_dist.hpp"
 
 namespace {
@@ -80,10 +85,14 @@ void print_usage() {
       "       esched work --queue-dir Q [--threads N] [--cache-dir D]\n"
       "                   [--lease-ttl S] [--poll-ms M] [--max-chunks N]\n"
       "                   [--owner NAME] [--progress] [--no-wait]\n"
-      "                   [--metrics-out P] [--trace P]\n"
+      "                   [--metrics-out P] [--trace P] [--telemetry-dir D]\n"
+      "                   [--telemetry-interval S]\n"
       "       esched status --queue-dir Q [--lease-ttl S] [--watch]\n"
-      "                     [--interval S]\n"
+      "                     [--interval S] [--telemetry-dir D]\n"
       "       esched collect --queue-dir Q --out merged.csv [--json m.json]\n"
+      "       esched trace report <trace.jsonl>... [--format text|folded]\n"
+      "                     [--rows N] [--out P]\n"
+      "       esched bench diff <old.json> <new.json> [--threshold X]\n"
       "\n"
       "A scenario argument is a built-in name (see `esched list`) or a\n"
       "path to a JSON spec file (anything containing '/' or ending in\n"
@@ -119,8 +128,24 @@ void print_usage() {
       "                  README 'Observability'; observation only — CSV\n"
       "                  and JSON report bytes are unchanged by it)\n"
       "  --trace P       append structured JSONL lifecycle events (one\n"
-      "                  object per line: point_done, cache_hit, ...) to P\n"
-      "                  as the sweep runs; also observation-only\n"
+      "                  object per line: point_done, cache_hit, span_begin,\n"
+      "                  ...) to P as the sweep runs; also observation-only\n"
+      "  --telemetry-dir D  publish live metrics snapshots to\n"
+      "                  D/<owner>.metrics.json every --telemetry-interval\n"
+      "                  seconds (default 2) plus a final one at exit;\n"
+      "                  `esched status --telemetry-dir D` merges them into\n"
+      "                  a fleet view while the sweep runs\n"
+      "\n"
+      "observability tooling:\n"
+      "  trace report    merge worker JSONL traces (deterministic\n"
+      "                  (t, pid, seq) order), rebuild the span trees\n"
+      "                  (worker > chunk > sweep > point > solve), and\n"
+      "                  print a per-phase breakdown plus the slowest\n"
+      "                  points; --format folded emits flamegraph-ready\n"
+      "                  folded stacks (self time in microseconds)\n"
+      "  bench diff      compare two bench_perf_solvers snapshots case by\n"
+      "                  case; exits 1 when any case's mean AND p50 both\n"
+      "                  grew more than --threshold (default 0.25 = +25%%)\n"
       "\n"
       "cache options:\n"
       "  --max-age S     gc: evict entries older than S seconds\n"
@@ -184,6 +209,16 @@ long parse_long(const char* flag, const std::string& value) {
   const long parsed = std::strtol(value.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || parsed < 0) {
     throw esched::Error(std::string(flag) + " expects a non-negative integer");
+  }
+  return parsed;
+}
+
+double parse_double(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == value.c_str() ||
+      !(parsed >= 0.0)) {
+    throw esched::Error(std::string(flag) + " expects a non-negative number");
   }
   return parsed;
 }
@@ -480,6 +515,84 @@ int run_queue(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `esched trace report <trace.jsonl>... [--format text|folded] [--rows N]
+/// [--out P]` — merge multi-worker traces and rebuild the span trees.
+int run_trace(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "report") {
+    throw esched::Error("trace expects a subcommand: report");
+  }
+  std::vector<std::string> files;
+  std::string format = "text";
+  std::string out_path;
+  std::size_t rows = 10;
+  for (std::size_t n = 1; n < args.size(); ++n) {
+    if (args[n] == "--format") {
+      format = next_value(args, &n, "--format");
+      if (format != "text" && format != "folded") {
+        throw esched::Error("--format expects text or folded");
+      }
+    } else if (args[n] == "--rows") {
+      rows = static_cast<std::size_t>(
+          parse_long("--rows", next_value(args, &n, "--rows")));
+    } else if (args[n] == "--out") {
+      out_path = next_value(args, &n, "--out");
+    } else if (!args[n].empty() && args[n][0] == '-') {
+      throw esched::Error("unknown trace report option '" + args[n] + "'");
+    } else {
+      files.push_back(args[n]);
+    }
+  }
+  if (files.empty()) {
+    throw esched::Error("trace report expects at least one trace file");
+  }
+  const esched::TraceForest forest = esched::build_trace_forest(files);
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary);
+    if (!out_file.good()) {
+      throw esched::Error("cannot write '" + out_path + "'");
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+  if (format == "folded") {
+    esched::print_trace_folded(forest, out);
+  } else {
+    esched::print_trace_report(forest, out, rows);
+  }
+  return 0;
+}
+
+/// `esched bench diff <old.json> <new.json> [--threshold X]` — the perf
+/// gate: exit 1 when any case regressed past the threshold.
+int run_bench(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "diff") {
+    throw esched::Error("bench expects a subcommand: diff");
+  }
+  std::vector<std::string> paths;
+  double threshold = 0.25;
+  for (std::size_t n = 1; n < args.size(); ++n) {
+    if (args[n] == "--threshold") {
+      threshold = parse_double("--threshold",
+                               next_value(args, &n, "--threshold"));
+    } else if (!args[n].empty() && args[n][0] == '-') {
+      throw esched::Error("unknown bench diff option '" + args[n] + "'");
+    } else {
+      paths.push_back(args[n]);
+    }
+  }
+  if (paths.size() != 2) {
+    throw esched::Error("bench diff expects exactly two snapshots: old new");
+  }
+  const esched::BenchSnapshot old_snapshot =
+      esched::load_bench_snapshot(paths[0]);
+  const esched::BenchSnapshot new_snapshot =
+      esched::load_bench_snapshot(paths[1]);
+  const esched::BenchDiffResult diff =
+      esched::diff_bench_snapshots(old_snapshot, new_snapshot, threshold);
+  esched::print_bench_diff(diff, std::cout);
+  return diff.regressions > 0 ? 1 : 0;
+}
+
 /// `esched work --queue-dir Q [...]`
 int run_work(const std::vector<std::string>& args) {
   std::string queue_dir;
@@ -510,6 +623,11 @@ int run_work(const std::vector<std::string>& args) {
     } else if (args[n] == "--max-chunks") {
       options.max_chunks = static_cast<std::size_t>(
           parse_long("--max-chunks", next_value(args, &n, "--max-chunks")));
+    } else if (args[n] == "--telemetry-dir") {
+      options.telemetry_dir = next_value(args, &n, "--telemetry-dir");
+    } else if (args[n] == "--telemetry-interval") {
+      options.telemetry_interval_seconds = parse_double(
+          "--telemetry-interval", next_value(args, &n, "--telemetry-interval"));
     } else if (args[n] == "--progress") {
       options.progress = true;
     } else if (args[n] == "--no-wait") {
@@ -561,6 +679,63 @@ void appendf(std::string* out, const char* fmt, ...) {
 /// fleet speed — the cumulative avg below it never forgets a slow start.
 /// Sets *finished when every chunk is done or terminally failed.
 constexpr double kRollingWindowSeconds = 120.0;
+
+/// Appends the live-telemetry fleet section: per-worker throughput and
+/// heartbeat lag from the published snapshots, then fleet-wide cache
+/// effectiveness and per-backend solve-time quantiles — counters summed
+/// and histograms BUCKET-merged across workers, so the p50/p99 shown are
+/// quantiles of the combined distribution, not averages of per-process
+/// quantiles.
+void append_fleet_status(std::string* out, const std::string& telemetry_dir) {
+  const esched::FleetSnapshot fleet =
+      esched::read_fleet_telemetry(telemetry_dir);
+  if (fleet.workers.empty() && fleet.skipped_files == 0) return;
+  appendf(out, "  fleet telemetry (%s): %zu worker%s", telemetry_dir.c_str(),
+          fleet.workers.size(), fleet.workers.size() == 1 ? "" : "s");
+  if (fleet.skipped_files > 0) {
+    appendf(out, ", %zu unreadable file%s skipped", fleet.skipped_files,
+            fleet.skipped_files == 1 ? "" : "s");
+  }
+  *out += "\n";
+  for (const esched::WorkerTelemetry& worker : fleet.workers) {
+    const std::uint64_t points =
+        worker.metrics.counter_value("sweep.points.solved");
+    const double rate = worker.uptime_seconds > 0.0
+                            ? static_cast<double>(points) /
+                                  worker.uptime_seconds
+                            : 0.0;
+    appendf(out,
+            "    %-24s %6ju points  %7.2f pts/s  lag %5.1f s%s\n",
+            worker.owner.empty() ? "(unnamed)" : worker.owner.c_str(),
+            static_cast<std::uintmax_t>(points), rate, worker.age_seconds,
+            worker.final_snapshot ? "  [final]" : "");
+  }
+  const std::uint64_t hits = fleet.merged.counter_value("cache.shm.hits");
+  const std::uint64_t misses = fleet.merged.counter_value("cache.shm.misses");
+  const std::uint64_t spills = fleet.merged.counter_value("cache.shm.spills");
+  if (hits + misses + spills > 0) {
+    appendf(out,
+            "    cache.shm: %ju hits / %ju misses (%.1f%% hit rate), "
+            "%ju spills\n",
+            static_cast<std::uintmax_t>(hits),
+            static_cast<std::uintmax_t>(misses),
+            hits + misses == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses),
+            static_cast<std::uintmax_t>(spills));
+  }
+  for (const auto& [name, hist] : fleet.merged.histograms) {
+    // Per-backend solve-time distributions: solver.<backend>.seconds.
+    if (hist.count == 0 || name.rfind("solver.", 0) != 0 ||
+        !name.ends_with(".seconds")) {
+      continue;
+    }
+    appendf(out, "    %-24s p50 %10.6f s  p99 %10.6f s  (%ju solves)\n",
+            name.c_str(), hist.quantile(0.50), hist.quantile(0.99),
+            static_cast<std::uintmax_t>(hist.count));
+  }
+}
 
 std::string render_status(const esched::WorkQueue& queue, double lease_ttl,
                           bool watch, bool* finished) {
@@ -660,12 +835,15 @@ std::string render_status(const esched::WorkQueue& queue, double lease_ttl,
 /// `esched status --queue-dir Q [--lease-ttl S] [--watch] [--interval S]`
 int run_status(const std::vector<std::string>& args) {
   std::string queue_dir;
+  std::string telemetry_dir;
   double lease_ttl = 60.0;
   bool watch = false;
   double interval = 2.0;
   for (std::size_t n = 0; n < args.size(); ++n) {
     if (args[n] == "--queue-dir") {
       queue_dir = next_value(args, &n, "--queue-dir");
+    } else if (args[n] == "--telemetry-dir") {
+      telemetry_dir = next_value(args, &n, "--telemetry-dir");
     } else if (args[n] == "--lease-ttl") {
       lease_ttl = static_cast<double>(
           parse_long("--lease-ttl", next_value(args, &n, "--lease-ttl")));
@@ -681,11 +859,23 @@ int run_status(const std::vector<std::string>& args) {
   if (queue_dir.empty()) {
     throw esched::Error("status requires --queue-dir Q");
   }
+  // The conventional in-queue location workers get by pointing
+  // --telemetry-dir at <queue-dir>/telemetry; picked up automatically so
+  // `esched status --queue-dir Q` shows the fleet without extra flags.
+  if (telemetry_dir.empty()) {
+    const std::string conventional =
+        (std::filesystem::path(queue_dir) / "telemetry").string();
+    std::error_code ec;
+    if (std::filesystem::is_directory(conventional, ec)) {
+      telemetry_dir = conventional;
+    }
+  }
   const esched::WorkQueue queue(queue_dir);
   bool finished = false;
   if (!watch) {
-    const std::string frame =
+    std::string frame =
         render_status(queue, lease_ttl, /*watch=*/false, &finished);
+    if (!telemetry_dir.empty()) append_fleet_status(&frame, telemetry_dir);
     std::fputs(frame.c_str(), stdout);
     return 0;
   }
@@ -695,8 +885,9 @@ int run_status(const std::vector<std::string>& args) {
   const bool tty = false;
 #endif
   for (;;) {
-    const std::string frame =
+    std::string frame =
         render_status(queue, lease_ttl, /*watch=*/true, &finished);
+    if (!telemetry_dir.empty()) append_fleet_status(&frame, telemetry_dir);
     // Home + clear on a tty so the frame repaints in place; plain
     // append when piped (each frame stays a parseable block).
     if (tty) std::fputs("\033[H\033[2J", stdout);
@@ -762,6 +953,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string telemetry_dir;
+  double telemetry_interval = 2.0;
   std::size_t summary_rows = 20;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
@@ -779,6 +972,8 @@ int main(int argc, char** argv) {
       if (subcommand == "work") return run_work(rest);
       if (subcommand == "status") return run_status(rest);
       if (subcommand == "collect") return run_collect(rest);
+      if (subcommand == "trace") return run_trace(rest);
+      if (subcommand == "bench") return run_bench(rest);
     }
     for (int n = 1; n < argc; ++n) {
       const std::string arg = argv[n];
@@ -832,6 +1027,11 @@ int main(int argc, char** argv) {
         metrics_path = next_value("--metrics-out");
       } else if (arg == "--trace") {
         trace_path = next_value("--trace");
+      } else if (arg == "--telemetry-dir") {
+        telemetry_dir = next_value("--telemetry-dir");
+      } else if (arg == "--telemetry-interval") {
+        telemetry_interval = parse_double("--telemetry-interval",
+                                          next_value("--telemetry-interval"));
       } else if (arg == "--rows") {
         summary_rows = static_cast<std::size_t>(
             parse_long("--rows", next_value("--rows")));
@@ -864,6 +1064,17 @@ int main(int argc, char** argv) {
       throw esched::Error("--stream requires --out PATH");
     }
     const TraceScope trace(trace_path);
+    // Live telemetry for standalone runs mirrors the worker path: periodic
+    // snapshots under the run's owner identity, final snapshot at exit.
+    std::unique_ptr<esched::TelemetryPublisher> telemetry;
+    if (!telemetry_dir.empty()) {
+      esched::TelemetryOptions telemetry_options;
+      telemetry_options.dir = telemetry_dir;
+      telemetry_options.owner = esched::default_worker_owner();
+      telemetry_options.interval_seconds = telemetry_interval;
+      telemetry = std::make_unique<esched::TelemetryPublisher>(
+          std::move(telemetry_options));
+    }
 
     esched::SweepRunner runner(threads);
     if (!cache_dir.empty()) runner.set_cache_dir(cache_dir);
